@@ -1,0 +1,1 @@
+bench/experiments.ml: Dc_citation Dc_cq Dc_gtopdb Dc_provenance Dc_rdf Dc_relational Dc_rewriting Fun List Printf String Util

@@ -1,0 +1,581 @@
+(* The experiment drivers E1-E10 (see DESIGN.md, "Experiment index").
+   Each prints one table; EXPERIMENTS.md records the expected shapes. *)
+
+module C = Dc_citation
+module Cq = Dc_cq
+module R = Dc_relational
+module Rw = Dc_rewriting
+module G = Dc_gtopdb.Generator
+open Util
+
+let families n = G.scale G.default_config ~families:n
+
+(* ------------------------------------------------------------------ *)
+(* E1: the paper's worked example, as a correctness table.             *)
+
+let e1 () =
+  hr "E1  Worked example (paper section 2) — correctness";
+  let db = Dc_gtopdb.Paper_views.example_database () in
+  let engine_all =
+    C.Engine.create ~selection:`All
+      ~policy:(C.Policy.make ~alt_r:C.Policy.Keep_all ())
+      db Dc_gtopdb.Paper_views.all
+  in
+  let result = C.Engine.cite engine_all Dc_gtopdb.Paper_views.query_q in
+  let check name expected actual =
+    row [ 44; 6; 60 ]
+      [ name; (if expected = actual then "PASS" else "FAIL"); actual ]
+  in
+  header [ 44; 6; 60 ] [ "property"; "ok"; "observed" ];
+  check "number of minimal equivalent rewritings" "2"
+    (string_of_int (List.length result.rewritings));
+  let rewriting_views =
+    List.map
+      (fun r -> String.concat "+" (Cq.Query.predicates r))
+      result.rewritings
+    |> List.sort String.compare |> String.concat " ; "
+  in
+  check "rewritings use" "V1+V3 ; V2+V3" rewriting_views;
+  let calcitonin =
+    List.find
+      (fun (tc : C.Engine.tuple_citation) ->
+        R.Tuple.equal tc.tuple (R.Tuple.make [ R.Value.Str "Calcitonin" ]))
+      result.tuples
+  in
+  let expected_expr =
+    C.Cite_expr.(
+      alt_r
+        [
+          alt
+            [
+              joint
+                [ leaf ~view:"V1" ~params:[ ("FID", R.Value.Int 11) ]; leaf ~view:"V3" ~params:[] ];
+              joint
+                [ leaf ~view:"V1" ~params:[ ("FID", R.Value.Int 12) ]; leaf ~view:"V3" ~params:[] ];
+            ];
+          joint [ leaf ~view:"V2" ~params:[]; leaf ~view:"V3" ~params:[] ];
+        ])
+  in
+  check "cite(Calcitonin) = (CV1(11)·CV3+CV1(12)·CV3)+R(CV2·CV3)"
+    "true"
+    (string_of_bool (C.Cite_expr.equal expected_expr calcitonin.expr));
+  let engine = C.Engine.create db Dc_gtopdb.Paper_views.all in
+  let result_min = C.Engine.cite engine Dc_gtopdb.Paper_views.query_q in
+  check "+R=min-size selects the V2 rewriting" "V2+V3"
+    (String.concat "+"
+       (Cq.Query.predicates (List.hd result_min.selected)));
+  check "final citation = CV2·CV3 (2 concrete citations)" "2"
+    (string_of_int (C.Citation.Set.size result_min.result_citations));
+  Printf.printf "\nformal citation of (Calcitonin): %s\n"
+    (C.Cite_expr.to_string calcitonin.expr)
+
+(* ------------------------------------------------------------------ *)
+(* E2: rewriting enumeration strategies vs number of views.            *)
+
+let e2 () =
+  hr "E2  Rewriting search space: naive vs bucket vs MiniCon";
+  Printf.printf
+    "query: Q(FName,PName) :- Family ⋈ Committee ⋈ FamilyIntro;\n\
+     synthetic view mix (plain / parameterized / join / non-exposing)\n\n";
+  header [ 7; 9; 12; 12; 8; 10 ]
+    [ "views"; "strategy"; "candidates"; "verified"; "kept"; "time ms" ];
+  let query =
+    Cq.Parser.parse_query_exn
+      "Q(FName,PName) :- Family(FID,FName,Desc), Committee(FID,PName), \
+       FamilyIntro(FID,Text)"
+  in
+  List.iter
+    (fun nviews ->
+      let views =
+        Rw.View.Set.of_list
+          (List.map C.Citation_view.view
+             (Dc_gtopdb.Views_catalog.synthetic ~count:nviews
+             @ [ Dc_gtopdb.Views_catalog.v_committee ]))
+      in
+      List.iter
+        (fun (name, strategy, cap) ->
+          let (rs, stats), t =
+            timed (fun () ->
+                Rw.Rewrite.rewritings ~strategy ~max_candidates:cap views query)
+          in
+          ignore rs;
+          row [ 7; 9; 12; 12; 8; 10 ]
+            [
+              string_of_int nviews;
+              name;
+              string_of_int stats.candidates
+              ^ (if stats.truncated then "+" else "");
+              string_of_int stats.verified;
+              string_of_int stats.kept;
+              ms t;
+            ])
+        [
+          ("naive", Rw.Rewrite.Naive, 20_000);
+          ("bucket", Rw.Rewrite.Bucket, 20_000);
+          ("minicon", Rw.Rewrite.Minicon, 20_000);
+        ])
+    [ 2; 4; 8; 16; 32 ];
+  Printf.printf "('+' marks truncation at the candidate budget)\n";
+  (* The hidden-join query: the views that matter hide the join
+     variable, so the bucket algorithm is incomplete (finds nothing),
+     the naive product wastes its whole budget on unverifiable
+     candidates, and MiniCon's coverage closure finds the rewritings. *)
+  subhr "hidden-join query: Q(FName,PName) :- Family ⋈ Committee";
+  header [ 7; 9; 12; 12; 8; 10 ]
+    [ "views"; "strategy"; "candidates"; "verified"; "kept"; "time ms" ];
+  let query2 =
+    Cq.Parser.parse_query_exn
+      "Q(FName,PName) :- Family(FID,FName,Desc), Committee(FID,PName)"
+  in
+  List.iter
+    (fun nviews ->
+      let views =
+        Rw.View.Set.of_list
+          (List.map C.Citation_view.view
+             (Dc_gtopdb.Views_catalog.synthetic ~count:nviews))
+      in
+      List.iter
+        (fun (name, strategy) ->
+          let (_, stats), t =
+            timed (fun () ->
+                Rw.Rewrite.rewritings ~strategy ~max_candidates:20_000 views
+                  query2)
+          in
+          row [ 7; 9; 12; 12; 8; 10 ]
+            [
+              string_of_int nviews;
+              name;
+              string_of_int stats.candidates
+              ^ (if stats.truncated then "+" else "");
+              string_of_int stats.verified;
+              string_of_int stats.kept;
+              ms t;
+            ])
+        [
+          ("naive", Rw.Rewrite.Naive);
+          ("bucket", Rw.Rewrite.Bucket);
+          ("minicon", Rw.Rewrite.Minicon);
+        ])
+    [ 6; 12; 24; 48 ]
+
+(* ------------------------------------------------------------------ *)
+(* E3: citation computation time vs database size.                     *)
+
+let e3 () =
+  hr "E3  Citation computation vs database size";
+  Printf.printf "query Q over the paper views; +R = min estimated size\n\n";
+  header [ 10; 10; 12; 12; 14 ]
+    [ "families"; "tuples"; "cite ms"; "answers"; "expr leaves" ];
+  List.iter
+    (fun n ->
+      let db = G.generate ~seed:1 ~config:(families n) () in
+      let engine = C.Engine.create db Dc_gtopdb.Paper_views.all in
+      let result, t =
+        timed (fun () -> C.Engine.cite engine Dc_gtopdb.Paper_views.query_q)
+      in
+      let leaves =
+        List.fold_left
+          (fun acc (tc : C.Engine.tuple_citation) ->
+            acc + C.Cite_expr.size tc.expr)
+          0 result.tuples
+      in
+      row [ 10; 10; 12; 12; 14 ]
+        [
+          string_of_int n;
+          string_of_int (R.Database.total_tuples db);
+          ms t;
+          string_of_int (List.length result.tuples);
+          string_of_int leaves;
+        ])
+    [ 100; 300; 1000; 3000; 10000 ]
+
+(* ------------------------------------------------------------------ *)
+(* E4: citation size — parameterized vs unparameterized rewriting.     *)
+
+let e4 () =
+  hr "E4  Citation size: Q1 (parameterized V1) vs Q2 (V2) — paper's size argument";
+  let views =
+    Rw.View.Set.of_list (List.map C.Citation_view.view Dc_gtopdb.Paper_views.all)
+  in
+  let q1 =
+    Cq.Parser.parse_query_exn "Q1(FName) :- V1(FID,FName,Desc), V3(FID,Text)"
+  in
+  let q2 =
+    Cq.Parser.parse_query_exn "Q2(FName) :- V2(FID,FName,Desc), V3(FID,Text)"
+  in
+  header [ 10; 14; 14; 14; 10 ]
+    [ "families"; "size(Q1) est"; "size(Q1) exact"; "size(Q2) est"; "+R picks" ];
+  List.iter
+    (fun n ->
+      let db = G.generate ~seed:2 ~config:(families n) () in
+      let e1 = Rw.Cost.citation_size db views q1 in
+      let e1x = Rw.Cost.citation_size ~exact:true db views q1 in
+      let e2 = Rw.Cost.citation_size db views q2 in
+      let chosen =
+        match Rw.Cost.choose_min_size db views [ q1; q2 ] with
+        | Some r -> Cq.Query.name r
+        | None -> "-"
+      in
+      row [ 10; 14; 14; 14; 10 ]
+        [
+          string_of_int n;
+          string_of_int e1;
+          string_of_int e1x;
+          string_of_int e2;
+          chosen;
+        ])
+    [ 10; 100; 1000; 10000 ];
+  Printf.printf
+    "(expected: size(Q1) grows ∝ |Family|, size(Q2) constant, +R picks Q2)\n"
+
+(* ------------------------------------------------------------------ *)
+(* E5: policy ablation.                                                *)
+
+let e5 () =
+  hr "E5  Policy ablation (db = 1000 families)";
+  let db = G.generate ~seed:3 ~config:(families 1000) () in
+  let policies =
+    [
+      ("union/min-size", C.Policy.default, `Min_estimated_size);
+      ("union/min-exact", C.Policy.default, `Min_exact_size);
+      ("union/keep-all", C.Policy.make ~alt_r:C.Policy.Keep_all (), `All);
+      ("union/first", C.Policy.make ~alt_r:C.Policy.First (), `All);
+      ( "join/min-size",
+        C.Policy.make ~joint:C.Policy.Join ~alt_r:C.Policy.Min_size (),
+        `Min_estimated_size );
+      ( "join/first",
+        C.Policy.make ~joint:C.Policy.Join ~alt_r:C.Policy.First (),
+        `All );
+    ]
+  in
+  header [ 20; 12; 16; 12 ]
+    [ "policy"; "cite ms"; "result citations"; "evaluated" ];
+  List.iter
+    (fun (name, policy, selection) ->
+      let engine = C.Engine.create ~policy ~selection db Dc_gtopdb.Paper_views.all in
+      let result, t =
+        timed (fun () -> C.Engine.cite engine Dc_gtopdb.Paper_views.query_q)
+      in
+      row [ 20; 12; 16; 12 ]
+        [
+          name;
+          ms t;
+          string_of_int (C.Citation.Set.size result.result_citations);
+          string_of_int (List.length result.selected);
+        ])
+    policies;
+  (* Agg = Join multiplies citation sets across result tuples, so it is
+     only usable on small answers; shown here on the paper's instance. *)
+  subhr "Agg = Join on the paper's 4-family instance";
+  let small = Dc_gtopdb.Paper_views.example_database () in
+  let policy =
+    C.Policy.make ~joint:C.Policy.Join ~agg:C.Policy.Join
+      ~alt_r:C.Policy.Min_size ()
+  in
+  let engine = C.Engine.create ~policy small Dc_gtopdb.Paper_views.all in
+  let result, t =
+    timed (fun () -> C.Engine.cite engine Dc_gtopdb.Paper_views.query_q)
+  in
+  row [ 20; 12; 16; 12 ]
+    [
+      "join·agg/min-size";
+      ms t;
+      string_of_int (C.Citation.Set.size result.result_citations);
+      string_of_int (List.length result.selected);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* E6: incremental maintenance vs recompute.                           *)
+
+let e6 () =
+  hr "E6  Citation evolution: incremental vs recompute (db = 5000 families)";
+  let db = G.generate ~seed:4 ~config:(families 5000) () in
+  let engine =
+    C.Engine.create ~selection:`All
+      ~policy:(C.Policy.make ~alt_r:C.Policy.Keep_all ())
+      db Dc_gtopdb.Paper_views.all
+  in
+  let reg0 = C.Incremental.register engine Dc_gtopdb.Paper_views.query_q in
+  header [ 8; 16; 16; 12; 10 ]
+    [ "batch"; "incremental ms"; "recompute ms"; "affected"; "speedup" ];
+  List.iter
+    (fun batch ->
+      let delta =
+        List.fold_left
+          (fun d i ->
+            let fid = 900000 + i in
+            let d =
+              R.Delta.insert d "Family"
+                (R.Tuple.make
+                   [
+                     R.Value.Int fid;
+                     R.Value.Str (Printf.sprintf "NewFam%d" i);
+                     R.Value.Str "nf";
+                   ])
+            in
+            R.Delta.insert d "FamilyIntro"
+              (R.Tuple.make [ R.Value.Int fid; R.Value.Str "intro" ]))
+          R.Delta.empty
+          (List.init batch Fun.id)
+      in
+      let reg', t_inc = timed ~runs:1 (fun () -> C.Incremental.apply_delta reg0 delta) in
+      let new_db = R.Delta.apply db delta in
+      let _, t_full =
+        timed ~runs:1 (fun () ->
+            let e = C.Engine.refresh engine new_db in
+            C.Engine.cite e Dc_gtopdb.Paper_views.query_q)
+      in
+      row [ 8; 16; 16; 12; 10 ]
+        [
+          string_of_int batch;
+          ms t_inc;
+          ms t_full;
+          string_of_int (C.Incremental.affected_last reg');
+          Printf.sprintf "%.1fx" (t_full /. max 0.001 t_inc);
+        ])
+    [ 1; 10; 100 ]
+
+(* ------------------------------------------------------------------ *)
+(* E7: semiring overhead for annotated evaluation.                     *)
+
+let e7 () =
+  hr "E7  Annotated evaluation across semirings (db = 2000 families)";
+  let db = G.generate ~seed:5 ~config:(families 2000) () in
+  let q = Dc_gtopdb.Paper_views.query_q in
+  let module S = Dc_provenance.Semiring in
+  let module A = Dc_provenance.Annotated in
+  let plain, t_plain = timed (fun () -> Cq.Eval.run db q) in
+  header [ 14; 12; 10 ] [ "semiring"; "eval ms"; "overhead" ];
+  row [ 14; 12; 10 ] [ "none (plain)"; ms t_plain; "1.0x" ];
+  ignore plain;
+  let bench_one name f =
+    let _, t = timed f in
+    row [ 14; 12; 10 ]
+      [ name; ms t; Printf.sprintf "%.1fx" (t /. max 0.001 t_plain) ]
+  in
+  let module MB = A.Make (S.Boolean) in
+  let tb = MB.of_database (fun _ _ -> true) db in
+  bench_one "boolean" (fun () -> MB.eval tb q);
+  let module MC = A.Make (S.Counting) in
+  let tc = MC.of_database (fun _ _ -> 1) db in
+  bench_one "counting" (fun () -> MC.eval tc q);
+  let module MT = A.Make (S.Tropical) in
+  let tt = MT.of_database (fun _ _ -> Some 1) db in
+  bench_one "tropical" (fun () -> MT.eval tt q);
+  let module ML = A.Make (S.Lineage) in
+  let tl =
+    ML.of_database
+      (fun rel tp -> Some (S.String_set.singleton (A.tuple_id rel tp)))
+      db
+  in
+  bench_one "lineage" (fun () -> ML.eval tl q);
+  let module MW = A.Make (S.Why) in
+  let tw =
+    MW.of_database
+      (fun rel tp -> S.Witness_sets.of_list [ [ A.tuple_id rel tp ] ])
+      db
+  in
+  bench_one "why" (fun () -> MW.eval tw q);
+  let tp = A.Poly.of_database db in
+  bench_one "poly N[X]" (fun () -> A.Poly.eval tp q)
+
+(* ------------------------------------------------------------------ *)
+(* E8: fixity — version store overhead and resolution.                 *)
+
+let e8 () =
+  hr "E8  Fixity: versioned store and citation resolution";
+  let db = G.generate ~seed:6 ~config:(families 1000) () in
+  let store = ref (R.Version_store.create db) in
+  let views = Dc_gtopdb.Paper_views.all in
+  let cited =
+    C.Fixity.cite ~store:!store ~views Dc_gtopdb.Paper_views.query_q
+  in
+  (* 100 single-tuple commits *)
+  let _, t_commits =
+    timed ~runs:1 (fun () ->
+        for i = 0 to 99 do
+          let fid = 800000 + i in
+          let d =
+            R.Delta.insert R.Delta.empty "Family"
+              (R.Tuple.make
+                 [ R.Value.Int fid; R.Value.Str "VFam"; R.Value.Str "v" ])
+          in
+          let s, _ = R.Version_store.commit_delta !store d in
+          store := s
+        done)
+  in
+  let _, t_checkout_old =
+    timed (fun () -> R.Version_store.checkout_exn !store 0)
+  in
+  let _, t_checkout_head =
+    timed (fun () -> R.Version_store.head_db !store)
+  in
+  let resolved, t_resolve =
+    timed ~runs:1 (fun () -> C.Fixity.resolve ~store:!store ~views cited)
+  in
+  let ok = match resolved with Ok ts -> List.length ts | Error _ -> -1 in
+  let verified, t_verify =
+    timed ~runs:1 (fun () -> C.Fixity.verify ~store:!store ~views cited)
+  in
+  header [ 36; 14 ] [ "operation"; "time ms" ];
+  row [ 36; 14 ] [ "100 single-tuple commits"; ms t_commits ];
+  row [ 36; 14 ] [ "checkout version 0"; ms t_checkout_old ];
+  row [ 36; 14 ] [ "checkout head"; ms t_checkout_head ];
+  row [ 36; 14 ] [ "resolve citation @v0"; ms t_resolve ];
+  row [ 36; 14 ] [ "verify citation"; ms t_verify ];
+  Printf.printf "\nresolved tuples: %d; fixity verified: %b\n" ok verified
+
+(* ------------------------------------------------------------------ *)
+(* E9: view coverage of a random workload.                             *)
+
+let e9 () =
+  hr "E9  Coverage of a 100-query workload vs view-set size";
+  let db = G.generate ~seed:7 ~config:(families 200) () in
+  let workload = Dc_gtopdb.Workload.generate ~seed:7 ~count:100 in
+  header [ 8; 10; 11; 12; 12 ]
+    [ "views"; "covered"; "ambiguous"; "analyze ms"; "greedy kept" ];
+  List.iter
+    (fun n ->
+      let cviews = Dc_gtopdb.Views_catalog.take n in
+      let vset =
+        C.Citation_view.Set.view_set (C.Citation_view.Set.of_list cviews)
+      in
+      let report, t =
+        timed ~runs:1 (fun () -> C.Coverage.analyze ~db vset workload)
+      in
+      let greedy = C.Coverage.greedy_minimal_views vset workload in
+      row [ 8; 10; 11; 12; 12 ]
+        [
+          string_of_int n;
+          pct (C.Coverage.coverage_ratio report);
+          string_of_int report.ambiguous;
+          ms t;
+          string_of_int (List.length greedy);
+        ])
+    [ 1; 2; 3; 4; 6; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* E10: RDF class-conditional citation vs ontology depth.              *)
+
+let e10 () =
+  hr "E10  RDF: class reasoning cost vs ontology depth (5000 triples)";
+  let module O = Dc_rdf.Ontology in
+  let module Tp = Dc_rdf.Triple in
+  let module Gr = Dc_rdf.Graph in
+  header [ 8; 14; 12; 14 ]
+    [ "depth"; "inference ms"; "encode ms"; "cite ms" ];
+  List.iter
+    (fun depth ->
+      (* a chain ontology C0 <: C1 <: ... <: Cdepth, resources typed at
+         the leaves *)
+      let ontology =
+        List.fold_left
+          (fun o i ->
+            O.add_subclass o
+              ~sub:(Printf.sprintf "C%d" i)
+              ~super:(Printf.sprintf "C%d" (i + 1)))
+          O.empty
+          (List.init depth Fun.id)
+      in
+      let n_resources = 500 in
+      let graph =
+        Gr.of_list
+          (List.concat_map
+             (fun i ->
+               let subj = Printf.sprintf "res%d" i in
+               [
+                 Tp.make subj Tp.rdf_type (Tp.iri "C0");
+                 Tp.make subj "label" (Tp.lit_str (Printf.sprintf "resource %d" i));
+                 Tp.make subj "madeBy" (Tp.iri (Printf.sprintf "lab%d" (i mod 7)));
+               ]
+               @ List.init 7 (fun j ->
+                     Tp.make subj
+                       (Printf.sprintf "p%d" j)
+                       (Tp.lit_int ((i * 7) + j))))
+             (List.init n_resources Fun.id))
+      in
+      let _, t_inf = timed ~runs:1 (fun () -> O.infer_types ontology graph) in
+      let db, t_enc =
+        timed ~runs:1 (fun () -> Dc_rdf.Class_view.encode ontology graph)
+      in
+      ignore db;
+      let views =
+        [
+          Dc_rdf.Class_view.class_citation_view
+            ~cls:(Printf.sprintf "C%d" depth)
+            ~blurb:"registry";
+        ]
+      in
+      let _, t_cite =
+        timed ~runs:1 (fun () ->
+            Dc_rdf.Class_view.cite_resource ontology graph ~views
+              ~subject:"res7")
+      in
+      row [ 8; 14; 12; 14 ]
+        [ string_of_int depth; ms t_inf; ms t_enc; ms t_cite ])
+    [ 1; 4; 16; 64 ]
+
+let all () =
+  e1 ();
+  e2 ();
+  e3 ();
+  e4 ();
+  e5 ();
+  e6 ();
+  e7 ();
+  e8 ();
+  e9 ();
+  e10 ()
+
+(* ------------------------------------------------------------------ *)
+(* E11: rewriting under key dependencies (chase-based verification).   *)
+
+let e11 () =
+  hr "E11  Rewriting under dependencies: key-joined projections";
+  Printf.printf
+    "views: k pairs of projections VName_i(FID,FName), VDesc_i(FID,Desc);\n\
+     query: Q(FID,FName,Desc) :- Family(FID,FName,Desc);\n\
+     a rewriting exists only modulo the key FID -> FName,Desc\n\n";
+  let deps =
+    Cq.Dependency.functional_dependency ~rel:"Family" ~arity:3
+      ~determinant:[ 0 ] ~dependent:[ 1; 2 ]
+  in
+  let query =
+    Cq.Parser.parse_query_exn "Q(FID,FName,Desc) :- Family(FID,FName,Desc)"
+  in
+  header [ 8; 12; 12; 14; 12; 12 ]
+    [ "pairs"; "no-deps kept"; "deps kept"; "candidates"; "no-deps ms"; "deps ms" ];
+  List.iter
+    (fun k ->
+      let views =
+        Rw.View.Set.of_list
+          (List.concat_map
+             (fun i ->
+               [
+                 Rw.View.of_query
+                   (Cq.Parser.parse_query_exn
+                      (Printf.sprintf
+                         "VName%d(FID,FName) :- Family(FID,FName,Desc)" i));
+                 Rw.View.of_query
+                   (Cq.Parser.parse_query_exn
+                      (Printf.sprintf
+                         "VDesc%d(FID,Desc) :- Family(FID,FName,Desc)" i));
+               ])
+             (List.init k Fun.id))
+      in
+      let (plain, _), t_plain =
+        timed (fun () -> Rw.Rewrite.rewritings views query)
+      in
+      let (under, stats), t_deps =
+        timed (fun () -> Rw.Rewrite.rewritings_under_deps ~deps views query)
+      in
+      row [ 8; 12; 12; 14; 12; 12 ]
+        [
+          string_of_int k;
+          string_of_int (List.length plain);
+          string_of_int (List.length under);
+          string_of_int stats.candidates;
+          ms t_plain;
+          ms t_deps;
+        ])
+    [ 1; 2; 3; 4 ]

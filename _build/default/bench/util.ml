@@ -1,0 +1,37 @@
+(* Timing and table-printing helpers shared by the experiment drivers. *)
+
+let time_ms f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  let t1 = Unix.gettimeofday () in
+  (result, (t1 -. t0) *. 1000.)
+
+(* Median of [runs] timed executions (the result of the first run is
+   returned, so [f] should be deterministic). *)
+let timed ?(runs = 3) f =
+  let result, first = time_ms f in
+  let rest = List.init (runs - 1) (fun _ -> snd (time_ms f)) in
+  let sorted = List.sort compare (first :: rest) in
+  (result, List.nth sorted (List.length sorted / 2))
+
+let hr title =
+  Printf.printf "\n================================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "================================================================\n"
+
+let subhr note = Printf.printf "---- %s ----\n" note
+
+(* Fixed-width table printing. *)
+let row widths cells =
+  let pad w s =
+    let s = if String.length s > w then String.sub s 0 w else s in
+    s ^ String.make (w - String.length s) ' '
+  in
+  print_endline (String.concat "  " (List.map2 pad widths cells))
+
+let header widths cells =
+  row widths cells;
+  row widths (List.map (fun w -> String.make w '-') widths)
+
+let ms v = Printf.sprintf "%.2f" v
+let pct v = Printf.sprintf "%.0f%%" (100. *. v)

@@ -1,0 +1,1 @@
+bin/datacite_cli.ml: Arg Cmd Cmdliner Dc_citation Dc_cq Dc_gtopdb Dc_relational Dc_rewriting Format List Printf Result String Term

@@ -1,0 +1,1 @@
+bin/datacite_cli.mli:

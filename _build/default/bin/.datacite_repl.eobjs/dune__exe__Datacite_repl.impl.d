@@ -1,0 +1,1 @@
+bin/datacite_repl.ml: Dc_citation List String

@@ -1,0 +1,1 @@
+bin/datacite_repl.mli:

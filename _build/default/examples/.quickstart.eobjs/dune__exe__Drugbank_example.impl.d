@@ -1,0 +1,1 @@
+examples/drugbank_example.ml: Dc_citation Dc_cq Dc_relational Format List

@@ -1,0 +1,1 @@
+examples/drugbank_example.mli:

@@ -1,0 +1,1 @@
+examples/gtopdb_example.mli:

@@ -1,0 +1,1 @@
+examples/portal_example.ml: Dc_citation Dc_gtopdb Dc_relational Filename Format List Result String Sys

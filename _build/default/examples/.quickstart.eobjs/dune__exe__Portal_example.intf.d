@@ -1,0 +1,1 @@
+examples/portal_example.mli:

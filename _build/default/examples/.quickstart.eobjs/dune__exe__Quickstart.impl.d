@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dc_citation Dc_cq Dc_relational Format List

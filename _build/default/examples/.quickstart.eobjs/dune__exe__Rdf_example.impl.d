@@ -1,0 +1,1 @@
+examples/rdf_example.ml: Dc_citation Dc_rdf Format List Option Printf String

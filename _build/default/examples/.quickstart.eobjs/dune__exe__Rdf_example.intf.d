@@ -1,0 +1,1 @@
+examples/rdf_example.mli:

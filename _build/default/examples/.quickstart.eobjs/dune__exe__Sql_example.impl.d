@@ -1,0 +1,1 @@
+examples/sql_example.ml: Dc_citation Dc_cq Dc_gtopdb Dc_relational Format List

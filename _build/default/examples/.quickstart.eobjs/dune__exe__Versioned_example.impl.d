@@ -1,0 +1,1 @@
+examples/versioned_example.ml: Dc_citation Dc_gtopdb Dc_relational Format List

@@ -1,0 +1,1 @@
+examples/xml_example.ml: Dc_citation Dc_relational Dc_xml Format List Option

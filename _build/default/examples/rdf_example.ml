@@ -1,0 +1,55 @@
+(* RDF / eagle-i scenario (paper §3, "Other models"): the citation of a
+   resource depends on its class, and the class is determined by
+   reasoning over an ontology.
+
+   The instance mimics eagle-i: lab resources typed only indirectly —
+   'hela' is asserted a CellLine; 'plasmid42' has no asserted type at
+   all, but the ontology gives property 'hasInsert' domain Plasmid, so
+   reasoning infers it.  Each class carries its own citation view. *)
+
+module C = Dc_citation
+module Rdf = Dc_rdf
+
+let () =
+  let ontology =
+    Rdf.Ontology.empty
+    |> (fun o -> Rdf.Ontology.add_subclass o ~sub:"CellLine" ~super:"Biomaterial")
+    |> (fun o -> Rdf.Ontology.add_subclass o ~sub:"Plasmid" ~super:"Biomaterial")
+    |> (fun o -> Rdf.Ontology.add_subclass o ~sub:"Biomaterial" ~super:"Resource")
+    |> (fun o -> Rdf.Ontology.add_subclass o ~sub:"Software" ~super:"Resource")
+    |> fun o -> Rdf.Ontology.add_domain o ~prop:"hasInsert" ~cls:"Plasmid"
+  in
+  let graph =
+    Rdf.Graph.of_list
+      [
+        Rdf.Triple.make "hela" Rdf.Triple.rdf_type (Rdf.Triple.iri "CellLine");
+        Rdf.Triple.make "hela" "label" (Rdf.Triple.lit_str "HeLa cells");
+        Rdf.Triple.make "hela" "providedBy" (Rdf.Triple.iri "lab7");
+        Rdf.Triple.make "plasmid42" "hasInsert" (Rdf.Triple.lit_str "GFP");
+        Rdf.Triple.make "plasmid42" "label" (Rdf.Triple.lit_str "pGFP-42");
+        Rdf.Triple.make "blast" Rdf.Triple.rdf_type (Rdf.Triple.iri "Software");
+        Rdf.Triple.make "blast" "label" (Rdf.Triple.lit_str "BLAST 2.14");
+      ]
+  in
+  Format.printf "=== Inferred classes ===@.";
+  List.iter
+    (fun (s, classes) ->
+      Format.printf "  %s : %s@." s (String.concat ", " classes))
+    (Rdf.Ontology.infer_types ontology graph);
+
+  let views =
+    List.map
+      (fun cls ->
+        Rdf.Class_view.class_citation_view ~cls
+          ~blurb:(Printf.sprintf "eagle-i network, %s registry" cls))
+      [ "CellLine"; "Plasmid"; "Software" ]
+  in
+  List.iter
+    (fun subject ->
+      let result, cls = Rdf.Class_view.cite_resource ontology graph ~views ~subject in
+      Format.printf "@.=== Citing resource %s (class view: %s) ===@." subject
+        (Option.value ~default:"none" cls);
+      Format.printf "formal: %a@." C.Cite_expr.pp result.result_expr;
+      print_endline
+        (C.Fmt_citation.render C.Fmt_citation.Human result.result_citations))
+    [ "hela"; "plasmid42"; "blast" ]

@@ -1,0 +1,36 @@
+(* SQL front end: the same citation pipeline driven by
+   SELECT-FROM-WHERE queries instead of Datalog syntax.  The compiled
+   conjunctive query is printed so the correspondence is visible, and a
+   self-join shows where duplicate family names (the paper's two
+   Calcitonin families) come from. *)
+
+module C = Dc_citation
+module Cq = Dc_cq
+module R = Dc_relational
+
+let () =
+  let db = Dc_gtopdb.Paper_views.example_database () in
+  let schemas = Dc_gtopdb.Schema_def.all_schemas in
+  let engine =
+    C.Engine.create ~selection:`All
+      ~policy:(C.Policy.make ~alt_r:C.Policy.Keep_all ())
+      db Dc_gtopdb.Paper_views.all
+  in
+  let run sql =
+    Format.printf "@.SQL> %s@." sql;
+    match Cq.Sql.compile ~schemas sql with
+    | Error e -> Format.printf "error: %s@." e
+    | Ok q ->
+        Format.printf "  as CQ: %a@." Cq.Query.pp q;
+        let result = C.Engine.cite engine q in
+        List.iter
+          (fun (tc : C.Engine.tuple_citation) ->
+            Format.printf "  %a : %a@." R.Tuple.pp tc.tuple C.Cite_expr.pp
+              tc.expr)
+          result.tuples
+  in
+  run "SELECT f.FName FROM Family f, FamilyIntro i WHERE f.FID = i.FID";
+  run "SELECT f.FName AS Name, c.PName AS Member FROM Family f, Committee c \
+       WHERE f.FID = c.FID AND f.FName = 'Calcitonin'";
+  run
+    "SELECT a.FID, b.FID FROM Family a, Family b WHERE a.FName = b.FName"

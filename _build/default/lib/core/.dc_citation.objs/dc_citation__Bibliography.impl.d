@@ -1,0 +1,1 @@
+lib/core/bibliography.ml: Citation Citation_store Dc_cq Dc_relational Engine Fmt_citation List Printf String

@@ -1,0 +1,1 @@
+lib/core/bibliography.mli: Citation Dc_cq Dc_relational Engine Fmt_citation

@@ -1,0 +1,1 @@
+lib/core/citation.ml: Dc_relational Format List Snippet String

@@ -1,0 +1,1 @@
+lib/core/citation.mli: Dc_relational Format Snippet

@@ -1,0 +1,1 @@
+lib/core/citation_store.ml: Citation Dc_relational Digest Hashtbl List Printf Snippet String

@@ -1,0 +1,1 @@
+lib/core/citation_store.mli: Citation

@@ -1,0 +1,1 @@
+lib/core/citation_view.ml: Citation Dc_cq Dc_relational Dc_rewriting Fun List Map Option Printf Snippet String

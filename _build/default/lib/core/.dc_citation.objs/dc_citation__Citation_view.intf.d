@@ -1,0 +1,1 @@
+lib/core/citation_view.mli: Citation Dc_cq Dc_relational Dc_rewriting

@@ -1,0 +1,1 @@
+lib/core/cite_expr.ml: Dc_provenance Dc_relational Format Int List String

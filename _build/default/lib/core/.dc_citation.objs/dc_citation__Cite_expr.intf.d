@@ -1,0 +1,1 @@
+lib/core/cite_expr.mli: Dc_provenance Dc_relational Format

@@ -1,0 +1,1 @@
+lib/core/compute.ml: Citation_view Cite_expr Dc_cq List

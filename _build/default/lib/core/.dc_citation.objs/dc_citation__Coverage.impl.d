@@ -1,0 +1,1 @@
+lib/core/coverage.ml: Dc_cq Dc_rewriting Format List Printf

@@ -1,0 +1,1 @@
+lib/core/coverage.mli: Dc_cq Dc_relational Dc_rewriting Format

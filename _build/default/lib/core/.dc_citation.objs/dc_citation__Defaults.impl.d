@@ -1,0 +1,1 @@
+lib/core/defaults.ml: Citation_view Coverage Dc_cq Dc_relational List Option

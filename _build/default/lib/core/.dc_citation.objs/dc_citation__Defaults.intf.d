@@ -1,0 +1,1 @@
+lib/core/defaults.mli: Citation_view Coverage Dc_cq Dc_relational

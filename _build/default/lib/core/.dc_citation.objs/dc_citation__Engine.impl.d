@@ -1,0 +1,1 @@
+lib/core/engine.ml: Citation Citation_view Cite_expr Compute Dc_cq Dc_relational Dc_rewriting Hashtbl List Logs Option Policy Printf Result String

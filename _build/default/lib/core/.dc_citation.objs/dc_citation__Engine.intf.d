@@ -1,0 +1,1 @@
+lib/core/engine.mli: Citation Citation_view Cite_expr Dc_cq Dc_relational Dc_rewriting Policy Stdlib

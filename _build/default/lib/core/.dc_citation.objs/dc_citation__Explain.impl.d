@@ -1,0 +1,1 @@
+lib/core/explain.ml: Buffer Cite_expr Compute Dc_cq Dc_relational Engine Format List Option Printf String

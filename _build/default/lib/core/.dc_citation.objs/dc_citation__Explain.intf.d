@@ -1,0 +1,1 @@
+lib/core/explain.mli: Cite_expr Dc_relational Engine

@@ -1,0 +1,1 @@
+lib/core/fixity.ml: Citation Cite_expr Dc_cq Dc_relational Engine Format List Printf

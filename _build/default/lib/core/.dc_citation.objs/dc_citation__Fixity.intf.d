@@ -1,0 +1,1 @@
+lib/core/fixity.mli: Citation Citation_view Cite_expr Dc_cq Dc_relational Engine Format Policy

@@ -1,0 +1,1 @@
+lib/core/fmt_citation.ml: Buffer Char Citation Dc_relational List Printf Snippet String

@@ -1,0 +1,1 @@
+lib/core/fmt_citation.mli: Citation

@@ -1,0 +1,1 @@
+lib/core/incremental.ml: Citation_view Cite_expr Compute Dc_cq Dc_relational Engine List Logs Option Policy String

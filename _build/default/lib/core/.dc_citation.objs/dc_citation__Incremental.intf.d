@@ -1,0 +1,1 @@
+lib/core/incremental.mli: Citation Cite_expr Dc_cq Dc_relational Engine

@@ -1,0 +1,1 @@
+lib/core/page.ml: Buffer Citation Citation_view Cite_expr Dc_cq Dc_relational Engine Fmt_citation List Option Printf String

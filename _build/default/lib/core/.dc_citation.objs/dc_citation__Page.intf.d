@@ -1,0 +1,1 @@
+lib/core/page.mli: Citation Dc_relational Engine

@@ -1,0 +1,1 @@
+lib/core/policy.ml: Citation Cite_expr Format List

@@ -1,0 +1,1 @@
+lib/core/repl.ml: Bibliography Buffer Citation_view Cite_expr Dc_cq Dc_relational Defaults Engine Explain Fmt_citation Format List Page Policy Printf Result Spec String Sys

@@ -1,0 +1,1 @@
+lib/core/snippet.ml: Dc_relational Format List String

@@ -1,0 +1,1 @@
+lib/core/spec.ml: Citation_view Dc_cq Dc_relational Filename List Printf Result String Sys

@@ -1,0 +1,1 @@
+lib/core/spec.mli: Citation_view Dc_relational

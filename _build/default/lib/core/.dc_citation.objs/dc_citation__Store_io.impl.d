@@ -1,0 +1,1 @@
+lib/core/store_io.ml: Array Dc_relational Filename List Printf Spec String Sys

@@ -1,0 +1,1 @@
+lib/core/store_io.mli: Dc_relational

@@ -1,0 +1,1 @@
+lib/core/view_registry.ml: Citation_view Dc_relational Engine Fixity List Printf

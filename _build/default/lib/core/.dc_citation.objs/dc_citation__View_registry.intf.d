@@ -1,0 +1,1 @@
+lib/core/view_registry.mli: Citation_view Dc_cq Dc_relational Engine Fixity Policy

@@ -1,0 +1,35 @@
+type entry = {
+  key : string;
+  query_text : string;
+  citations : Citation.Set.t;
+  version : Dc_relational.Version_store.version option;
+}
+
+type t = { store : Citation_store.t; mutable entries : entry list }
+
+let create () = { store = Citation_store.create (); entries = [] }
+
+let add ?version bib ~query citations =
+  let key = Citation_store.put bib.store citations in
+  if not (List.exists (fun e -> String.equal e.key key) bib.entries) then
+    bib.entries <-
+      bib.entries
+      @ [ { key; query_text = Dc_cq.Query.to_string query; citations; version } ];
+  key
+
+let add_result bib (result : Engine.result) =
+  add bib ~query:result.query result.result_citations
+
+let entries bib = bib.entries
+let find bib key = List.find_opt (fun e -> String.equal e.key key) bib.entries
+
+let render ?(format = Fmt_citation.Human) bib =
+  String.concat "\n\n"
+    (List.map
+       (fun e ->
+         Printf.sprintf "[%s] %s%s\n%s" e.key e.query_text
+           (match e.version with
+           | Some v -> Printf.sprintf " (version %d)" v
+           | None -> "")
+           (Fmt_citation.render format e.citations))
+       bib.entries)

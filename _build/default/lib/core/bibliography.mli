@@ -1,0 +1,39 @@
+(** Bibliographies over data citations.
+
+    Conventional papers collect their citations in a bibliography; this
+    module does the same for data citations: each cited query
+    contributes one entry, deduplicated by content (via
+    {!Citation_store}), labelled, and renderable in any
+    {!Fmt_citation.format}.  The in-text reference is the entry's short
+    key, answering the paper's "reasonable size for the bibliography
+    section" concern: query results carry keys, the bibliography
+    carries the extended citations. *)
+
+type t
+
+type entry = {
+  key : string;  (** the {!Citation_store} content key *)
+  query_text : string;
+  citations : Citation.Set.t;
+  version : Dc_relational.Version_store.version option;
+}
+
+val create : unit -> t
+
+val add : ?version:Dc_relational.Version_store.version ->
+  t -> query:Dc_cq.Query.t -> Citation.Set.t -> string
+(** Registers the citation set under its content key and returns the
+    key; re-adding an equal set (even for a different query) reuses the
+    entry and returns the same key. *)
+
+val add_result : t -> Engine.result -> string
+(** [add] on a cite result's query and result citations. *)
+
+val entries : t -> entry list
+(** In insertion order. *)
+
+val find : t -> string -> entry option
+
+val render : ?format:Fmt_citation.format -> t -> string
+(** The bibliography section: one block per entry, prefixed with its
+    key and cited query. *)

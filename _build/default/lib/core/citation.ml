@@ -1,0 +1,83 @@
+module Value = Dc_relational.Value
+
+type t = {
+  view : string;
+  params : (string * Value.t) list;
+  snippets : Snippet.t list;
+}
+
+let make ~view ~params ~snippets =
+  { view; params; snippets = List.sort_uniq Snippet.compare snippets }
+
+let view c = c.view
+let params c = c.params
+let snippets c = c.snippets
+let with_snippets c snippets = make ~view:c.view ~params:c.params ~snippets
+
+let merge a b =
+  make
+    ~view:(a.view ^ "·" ^ b.view)
+    ~params:(a.params @ b.params)
+    ~snippets:(a.snippets @ b.snippets)
+
+let key c =
+  Format.asprintf "%s(%s)" c.view
+    (String.concat ","
+       (List.map (fun (n, v) -> n ^ "=" ^ Value.to_string v) c.params))
+
+let compare_params =
+  List.compare (fun (n1, v1) (n2, v2) ->
+      match String.compare n1 n2 with
+      | 0 -> Value.compare v1 v2
+      | c -> c)
+
+let compare a b =
+  match String.compare a.view b.view with
+  | 0 -> (
+      match compare_params a.params b.params with
+      | 0 -> List.compare Snippet.compare a.snippets b.snippets
+      | c -> c)
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let pp ppf c =
+  Format.fprintf ppf "@[<2>%s:@ %a@]" (key c)
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       Snippet.pp)
+    c.snippets
+
+module Set = struct
+  type citation = t
+  type nonrec t = t list
+
+  let of_list cs = List.sort_uniq compare cs
+
+  (* Both operands are sorted and duplicate-free; a linear merge keeps
+     union cheap even when folded over thousands of tuple citations. *)
+  let union a b =
+    let rec merge a b acc =
+      match (a, b) with
+      | [], rest | rest, [] -> List.rev_append acc rest
+      | x :: a', y :: b' ->
+          let c = compare x y in
+          if c < 0 then merge a' b (x :: acc)
+          else if c > 0 then merge a b' (y :: acc)
+          else merge a' b' (x :: acc)
+    in
+    merge a b []
+
+  let join a b =
+    match (a, b) with
+    | [], other | other, [] -> other
+    | a, b ->
+        of_list (List.concat_map (fun ca -> List.map (merge ca) b) a)
+
+  let size = List.length
+
+  let pp ppf cs =
+    Format.fprintf ppf "@[<v>%a@]"
+      (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp)
+      cs
+end

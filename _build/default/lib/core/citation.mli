@@ -1,0 +1,49 @@
+(** Concrete citations: the evaluated form of one [F_V(CV(p̄))] leaf, or
+    a join of several.
+
+    A citation names the view it came from, fixes the parameter
+    valuation, and carries the snippets pulled by the view's citation
+    queries at that valuation.  Citation {e sets} (deduplicated, sorted
+    lists) are the value domain the {!Policy} interpretations work in. *)
+
+type t
+
+val make :
+  view:string ->
+  params:(string * Dc_relational.Value.t) list ->
+  snippets:Snippet.t list ->
+  t
+
+val view : t -> string
+val params : t -> (string * Dc_relational.Value.t) list
+val snippets : t -> Snippet.t list
+
+val with_snippets : t -> Snippet.t list -> t
+
+val merge : t -> t -> t
+(** Joint use as a single composite citation: view names concatenated
+    with [·], parameter lists appended, snippets unioned.  Used by the
+    [Join] interpretation of the paper's [·]. *)
+
+val key : t -> string
+(** Stable identity: view name plus parameter valuation (snippets are a
+    function of these). *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** Deduplicated citation sets. *)
+module Set : sig
+  type citation = t
+  type t = citation list
+  (** Always sorted and duplicate-free. *)
+
+  val of_list : citation list -> t
+  val union : t -> t -> t
+  val join : t -> t -> t
+  (** Pairwise {!merge}; the [Join] reading of [·]. *)
+
+  val size : t -> int
+  val pp : Format.formatter -> t -> unit
+end

@@ -1,0 +1,68 @@
+module Value = Dc_relational.Value
+
+type t = (string, Citation.Set.t) Hashtbl.t
+
+let create () : t = Hashtbl.create 32
+
+let canonical_text set =
+  String.concat "\n"
+    (List.map
+       (fun c ->
+         Citation.key c ^ "|"
+         ^ String.concat ";"
+             (List.map
+                (fun s ->
+                  Snippet.source s ^ ":"
+                  ^ String.concat ","
+                      (List.map
+                         (fun (n, v) -> n ^ "=" ^ Value.to_string v)
+                         (Snippet.fields s)))
+                (Citation.snippets c)))
+       set)
+
+let key_of set =
+  Printf.sprintf "cite:%s"
+    (String.sub (Digest.to_hex (Digest.string (canonical_text set))) 0 12)
+
+let put store set =
+  let key = key_of set in
+  if not (Hashtbl.mem store key) then Hashtbl.add store key set;
+  key
+
+let get store key = Hashtbl.find_opt store key
+let entries store = Hashtbl.length store
+
+let contains_ci hay needle =
+  let hay = String.lowercase_ascii hay in
+  let needle = String.lowercase_ascii needle in
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let citation_matches needle c =
+  contains_ci (Citation.view c) needle
+  || List.exists
+       (fun (n, v) ->
+         contains_ci n needle || contains_ci (Value.to_string v) needle)
+       (Citation.params c)
+  || List.exists
+       (fun s ->
+         List.exists
+           (fun (n, v) ->
+             contains_ci n needle || contains_ci (Value.to_string v) needle)
+           (Snippet.fields s))
+       (Citation.snippets c)
+
+let search store needle =
+  Hashtbl.fold
+    (fun key set acc ->
+      List.fold_left
+        (fun acc c ->
+          if citation_matches needle c then (key, c) :: acc else acc)
+        acc set)
+    store []
+  |> List.sort compare
+
+let reference store set =
+  let key = key_of set in
+  if Hashtbl.mem store key then Some key else None

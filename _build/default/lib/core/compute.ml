@@ -1,0 +1,35 @@
+module Cq = Dc_cq
+
+let leaf_of_atom cviews atom binding =
+  match Citation_view.Set.find cviews (Cq.Atom.pred atom) with
+  | None -> None
+  | Some cv ->
+      let def = Citation_view.definition cv in
+      let positions = Cq.Query.param_positions def in
+      let args = Cq.Atom.args atom in
+      let params =
+        List.map2
+          (fun p pos ->
+            match List.nth args pos with
+            | Cq.Term.Const c -> (p, c)
+            | Cq.Term.Var v -> (p, Cq.Eval.Binding.find_exn binding v))
+          (Citation_view.params cv) positions
+      in
+      Some (Cite_expr.leaf ~view:(Citation_view.name cv) ~params)
+
+let binding_expr cviews rewriting binding =
+  Cite_expr.joint
+    (List.filter_map
+       (fun atom -> leaf_of_atom cviews atom binding)
+       (Cq.Query.body rewriting))
+
+let tuple_expr_for_rewriting cviews rewriting bindings =
+  Cite_expr.alt (List.map (binding_expr cviews rewriting) bindings)
+
+let tuple_expr cviews per_rewriting =
+  Cite_expr.alt_r
+    (List.map
+       (fun (rw, bindings) -> tuple_expr_for_rewriting cviews rw bindings)
+       per_rewriting)
+
+let result_expr exprs = Cite_expr.agg exprs

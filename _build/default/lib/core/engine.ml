@@ -1,0 +1,188 @@
+module Cq = Dc_cq
+module R = Dc_relational
+module Rw = Dc_rewriting
+
+let log_src = Logs.Src.create "datacite.engine" ~doc:"Citation engine"
+
+module Log = (val Logs.src_log log_src)
+
+type selection = [ `All | `Min_estimated_size | `Min_exact_size ]
+
+type t = {
+  base : R.Database.t;
+  cviews : Citation_view.Set.t;
+  views : Rw.View.Set.t;
+  view_db : R.Database.t;
+  policy : Policy.t;
+  selection : selection;
+  partial : bool;
+  fallback_contained : bool;
+  leaf_cache : (string, Citation.t) Hashtbl.t;
+  eval_cache : Cq.Eval.cache;
+}
+
+let materialize ?cache base cviews =
+  List.fold_left
+    (fun db cv ->
+      let rel = Cq.Eval.result ?cache base (Citation_view.definition cv) in
+      R.Database.add_relation db rel)
+    R.Database.empty
+    (Citation_view.Set.to_list cviews)
+
+let create ?(policy = Policy.default) ?(selection = `Min_estimated_size)
+    ?(partial = false) ?(fallback_contained = false) base cview_list =
+  List.iter
+    (fun cv ->
+      let n = Citation_view.name cv in
+      if R.Database.mem_relation base n then
+        invalid_arg
+          (Printf.sprintf
+             "Engine.create: view %s collides with a base relation" n);
+      List.iter
+        (fun q ->
+          match Cq.Schema_check.check_query_res base q with
+          | Ok () -> ()
+          | Error e ->
+              invalid_arg (Printf.sprintf "Engine.create: view %s: %s" n e))
+        (Citation_view.definition cv :: Citation_view.citation_queries cv))
+    cview_list;
+  let cviews = Citation_view.Set.of_list cview_list in
+  let eval_cache = Cq.Eval.make_cache () in
+  {
+    base;
+    cviews;
+    views = Citation_view.Set.view_set cviews;
+    view_db = materialize ~cache:eval_cache base cviews;
+    policy;
+    selection;
+    partial;
+    fallback_contained;
+    leaf_cache = Hashtbl.create 64;
+    eval_cache;
+  }
+
+let database e = e.base
+let citation_views e = e.cviews
+let policy e = e.policy
+let view_database e = e.view_db
+
+let refresh e base =
+  {
+    e with
+    base;
+    view_db = materialize ~cache:e.eval_cache base e.cviews;
+    leaf_cache = Hashtbl.create 64;
+  }
+
+let with_databases e ~base ~view_db =
+  { e with base; view_db; leaf_cache = Hashtbl.create 64 }
+
+type tuple_citation = {
+  tuple : R.Tuple.t;
+  expr : Cite_expr.t;
+  citations : Citation.Set.t;
+}
+
+type result = {
+  query : Cq.Query.t;
+  rewritings : Cq.Query.t list;
+  selected : Cq.Query.t list;
+  tuples : tuple_citation list;
+  result_expr : Cite_expr.t;
+  result_citations : Citation.Set.t;
+  complete : bool;
+  stats : Rw.Rewrite.stats;
+}
+
+let leaf_key (l : Cite_expr.leaf) =
+  Printf.sprintf "%s(%s)" l.view
+    (String.concat ","
+       (List.map (fun (n, v) -> n ^ "=" ^ R.Value.to_string v) l.params))
+
+let resolve_leaf e (l : Cite_expr.leaf) =
+  let k = leaf_key l in
+  match Hashtbl.find_opt e.leaf_cache k with
+  | Some c -> c
+  | None ->
+      let cv = Citation_view.Set.find_exn e.cviews l.view in
+      let c = Citation_view.cite ~cache:e.eval_cache cv e.base l.params in
+      Hashtbl.add e.leaf_cache k c;
+      c
+
+let select e rewritings =
+  match (e.selection, rewritings) with
+  | `All, _ | _, ([] | [ _ ]) -> rewritings
+  | `Min_estimated_size, rs ->
+      Option.to_list (Rw.Cost.choose_min_size e.base e.views rs)
+  | `Min_exact_size, rs ->
+      Option.to_list (Rw.Cost.choose_min_size ~exact:true e.base e.views rs)
+
+(* Rewritings are evaluated over the materialized views merged with the
+   base relations: a partial rewriting's uncovered subgoals reference
+   the base schema directly. *)
+let eval_db e =
+  List.fold_left R.Database.add_relation e.base
+    (R.Database.relations e.view_db)
+
+let merged_database = eval_db
+
+let cite e query =
+  let rewritings, stats = Rw.Rewrite.rewritings ~partial:e.partial e.views query in
+  let selected = select e rewritings in
+  Log.debug (fun m ->
+      m "cite %s: %d candidates, %d rewritings, %d selected"
+        (Cq.Query.name query) stats.candidates (List.length rewritings)
+        (List.length selected));
+  let db = eval_db e in
+  (* An uncovered query still gets its answer — with no citation by
+     default, or best-effort through the maximally contained rewriting
+     when the engine was created with [fallback_contained]. *)
+  let selected_or_self, complete =
+    if selected <> [] then (selected, true)
+    else if e.fallback_contained then
+      match Rw.Rewrite.maximally_contained e.views query with
+      | [], _ -> ([ Cq.Query.strip_params query ], true)
+      | disjuncts, _ -> (disjuncts, false)
+    else ([ Cq.Query.strip_params query ], true)
+  in
+  let per_tuple =
+    List.fold_left
+      (fun m rw ->
+        List.fold_left
+          (fun m (tuple, bindings) ->
+            let existing =
+              Option.value ~default:[] (R.Tuple.Map.find_opt tuple m)
+            in
+            R.Tuple.Map.add tuple ((rw, bindings) :: existing) m)
+          m
+          (Cq.Eval.run ~cache:e.eval_cache db rw))
+      R.Tuple.Map.empty selected_or_self
+  in
+  let resolve = resolve_leaf e in
+  let tuples =
+    R.Tuple.Map.bindings per_tuple
+    |> List.map (fun (tuple, contribs) ->
+           let expr =
+             Cite_expr.normalize (Compute.tuple_expr e.cviews (List.rev contribs))
+           in
+           let citations = Policy.eval ~resolve e.policy expr in
+           { tuple; expr; citations })
+  in
+  let result_expr =
+    Cite_expr.normalize
+      (Compute.result_expr (List.map (fun t -> t.expr) tuples))
+  in
+  let result_citations = Policy.eval ~resolve e.policy result_expr in
+  {
+    query;
+    rewritings;
+    selected;
+    tuples;
+    result_expr;
+    result_citations;
+    complete;
+    stats;
+  }
+
+let cite_string e src =
+  Result.map (cite e) (Cq.Parser.parse_query src)

@@ -1,0 +1,92 @@
+(** End-to-end citation engine: query in, citations out.
+
+    The pipeline is the paper's §2 with the §3 "calculating citations"
+    cost shortcut:
+
+    + rewrite the (parameter-stripped) query into its minimal
+      equivalent rewritings over the citation views (MiniCon + verify);
+    + optionally {e select} rewritings before any evaluation — with
+      [selection = `Min_estimated_size] only the rewriting with the
+      smallest estimated citation is evaluated, so the engine never
+      enumerates "all rewritings and all assignments within each";
+    + evaluate the selected rewritings over the materialized views,
+      collecting all bindings per output tuple;
+    + build per-tuple formal expressions (Definitions 2.1/2.2), the
+      result-level [Agg], and their policy-evaluated concrete citation
+      sets; leaf citations are memoized per (view, valuation). *)
+
+type selection =
+  [ `All  (** evaluate every minimal rewriting; [+R] applies at eval *)
+  | `Min_estimated_size
+    (** pre-select by {!Dc_rewriting.Cost.citation_size} estimate *)
+  | `Min_exact_size  (** pre-select by exact per-view citation counts *) ]
+
+type t
+
+val create :
+  ?policy:Policy.t ->
+  ?selection:selection ->
+  ?partial:bool ->
+  ?fallback_contained:bool ->
+  Dc_relational.Database.t ->
+  Citation_view.t list ->
+  t
+(** Materializes every view once.  Defaults: the paper's policy
+    ({!Policy.default}), [`Min_estimated_size] selection, no partial
+    rewritings.  With [fallback_contained], a query with no equivalent
+    rewriting is answered {e best-effort} through its maximally
+    contained rewriting: the tuples are then possibly a strict subset
+    of the true answer ([result.complete = false]) but each carries a
+    citation. *)
+
+val database : t -> Dc_relational.Database.t
+val citation_views : t -> Citation_view.Set.t
+val policy : t -> Policy.t
+val view_database : t -> Dc_relational.Database.t
+
+val merged_database : t -> Dc_relational.Database.t
+(** Base relations and materialized views in one database — what
+    rewritings (including partial ones) are evaluated against. *)
+
+val refresh : t -> Dc_relational.Database.t -> t
+(** The same engine over an updated database (views rematerialized). *)
+
+val with_databases :
+  t -> base:Dc_relational.Database.t -> view_db:Dc_relational.Database.t -> t
+(** Replaces both stores without rematerializing; the caller asserts
+    that [view_db] is the correct materialization of the views over
+    [base].  {!Incremental} maintains the extents itself and uses this
+    to avoid the full rematerialization [refresh] performs.  The leaf
+    cache is cleared. *)
+
+type tuple_citation = {
+  tuple : Dc_relational.Tuple.t;
+  expr : Cite_expr.t;  (** formal citation, Definitions 2.1/2.2 + [+R] *)
+  citations : Citation.Set.t;  (** policy-evaluated concrete citations *)
+}
+
+type result = {
+  query : Dc_cq.Query.t;
+  rewritings : Dc_cq.Query.t list;  (** all minimal equivalent rewritings *)
+  selected : Dc_cq.Query.t list;  (** the ones actually evaluated *)
+  tuples : tuple_citation list;
+      (** the query answer; when the query has no rewriting over the
+          views it is evaluated directly and every tuple carries a
+          leafless expression and an empty citation set *)
+  result_expr : Cite_expr.t;  (** [Agg] over the tuples *)
+  result_citations : Citation.Set.t;
+  complete : bool;
+      (** [false] only when the contained-rewriting fallback answered a
+          query that has no equivalent rewriting: the tuples may then
+          under-approximate the true answer *)
+  stats : Dc_rewriting.Rewrite.stats;
+}
+
+val cite : t -> Dc_cq.Query.t -> result
+
+val cite_string : t -> string -> (result, string) Stdlib.result
+(** Parses with {!Dc_cq.Parser.parse_query} first. *)
+
+val resolve_leaf : t -> Cite_expr.leaf -> Citation.t
+(** The engine's memoized leaf resolver (exposed for tests and for
+    rendering formal expressions independently of [cite]). *)

@@ -1,0 +1,24 @@
+(** Human-readable explanations of answers and their citations.
+
+    For a tuple in a cite result, the explanation lists — per evaluated
+    rewriting — every binding that derives the tuple (Definition 2.2's
+    β_t, shown concretely) and the citation leaf each view atom
+    contributes under that binding (Definition 2.1).  This is the
+    why-provenance of the answer rendered in citation terms. *)
+
+type binding_line = {
+  rewriting : string;
+  binding : (string * Dc_relational.Value.t) list;
+  leaves : Cite_expr.leaf list;
+}
+
+val tuple :
+  Engine.t ->
+  Engine.result ->
+  Dc_relational.Tuple.t ->
+  binding_line list
+(** Empty when the tuple is not part of the result. *)
+
+val render : Engine.t -> Engine.result -> Dc_relational.Tuple.t -> string
+(** Text rendering of {!tuple}, ending with the tuple's formal
+    expression. *)

@@ -1,0 +1,42 @@
+(** Incremental citation maintenance — the paper's "citation evolution"
+    challenge (§3): "how to compute citations in an incremental manner".
+
+    A {e registration} pins a query together with its selected
+    rewritings and caches the per-tuple formal citations.  When the base
+    database changes by a {!Dc_relational.Delta.t}, the registration is
+    updated by delta evaluation instead of recomputation:
+
+    + each view's extent delta is computed by evaluating the view with
+      one body atom pinned to each changed base tuple (standard delta
+      rules, one pass per occurrence);
+    + the affected output tuples of each rewriting are those produced by
+      bindings that touch a changed view tuple;
+    + only the affected tuples have their binding sets — and hence their
+      citation expressions — recomputed; every other cached citation is
+      reused.
+
+    Experiment E6 measures this against [Engine.refresh] + re-cite. *)
+
+type t
+
+val register : Engine.t -> Dc_cq.Query.t -> t
+(** Evaluates once and caches. *)
+
+val engine : t -> Engine.t
+val query : t -> Dc_cq.Query.t
+val selected : t -> Dc_cq.Query.t list
+
+val tuples : t -> Engine.tuple_citation list
+(** Current cached per-tuple citations, sorted by tuple. *)
+
+val result_expr : t -> Cite_expr.t
+val result_citations : t -> Citation.Set.t
+
+val apply_delta : t -> Dc_relational.Delta.t -> t
+(** Updates the base database, the materialized views, and the affected
+    citations.  Raises [Not_found] when the delta touches a relation
+    absent from the database. *)
+
+val affected_last : t -> int
+(** Number of output tuples recomputed by the last [apply_delta]
+    (0 for a fresh registration); exposed for tests and benchmarks. *)

@@ -1,0 +1,157 @@
+module R = Dc_relational
+module Cq = Dc_cq
+
+type t = {
+  view : string;
+  params : (string * R.Value.t) list;
+  rows : R.Tuple.t list;
+  columns : string list;
+  citation : Citation.t;
+  version : R.Version_store.version option;
+}
+
+let instantiate_view def valuation =
+  let s =
+    Cq.Subst.of_list
+      (List.filter_map
+         (fun p ->
+           Option.map (fun v -> (p, Cq.Term.Const v)) (List.assoc_opt p valuation))
+         (Cq.Query.params def))
+  in
+  Cq.Query.apply_subst s def
+
+let render ?version engine ~view ~params =
+  match Citation_view.Set.find (Engine.citation_views engine) view with
+  | None -> Error (Printf.sprintf "unknown view %s" view)
+  | Some cv -> (
+      let missing =
+        List.filter
+          (fun p -> not (List.mem_assoc p params))
+          (Citation_view.params cv)
+      in
+      match missing with
+      | p :: _ -> Error (Printf.sprintf "missing parameter %s" p)
+      | [] ->
+          let def = Citation_view.definition cv in
+          let inst = instantiate_view def params in
+          let rows =
+            List.map fst (Cq.Eval.run (Engine.database engine) inst)
+          in
+          let columns =
+            List.mapi
+              (fun i t ->
+                match t with
+                | Cq.Term.Var v -> v
+                | Cq.Term.Const _ -> Cq.Query.name def ^ string_of_int i)
+              (Cq.Query.head def)
+          in
+          let citation =
+            Engine.resolve_leaf engine
+              {
+                Cite_expr.view;
+                params =
+                  List.filter
+                    (fun (p, _) -> List.mem p (Citation_view.params cv))
+                    params;
+              }
+          in
+          Ok { view; params; rows; columns; citation; version })
+
+let page_ids engine ~view =
+  match Citation_view.Set.find (Engine.citation_views engine) view with
+  | None -> []
+  | Some cv -> (
+      match Citation_view.params cv with
+      | [] -> [ [] ]
+      | params ->
+          let def = Citation_view.definition cv in
+          let positions = Cq.Query.param_positions def in
+          let extent = Cq.Eval.result (Engine.database engine) def in
+          R.Relation.fold
+            (fun tuple acc ->
+              let valuation =
+                List.map2
+                  (fun p pos -> (p, R.Tuple.get tuple pos))
+                  params positions
+              in
+              if List.mem valuation acc then acc else valuation :: acc)
+            extent []
+          |> List.rev)
+
+let to_text page =
+  let b = Buffer.create 256 in
+  Buffer.add_string b page.view;
+  List.iter
+    (fun (p, v) ->
+      Buffer.add_string b (Printf.sprintf " [%s=%s]" p (R.Value.to_string v)))
+    page.params;
+  (match page.version with
+  | Some v -> Buffer.add_string b (Printf.sprintf " @version %d" v)
+  | None -> ());
+  Buffer.add_char b '\n';
+  Buffer.add_string b (String.concat " | " page.columns);
+  Buffer.add_char b '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string b
+        (String.concat " | "
+           (List.map R.Value.to_string (R.Tuple.to_list row)));
+      Buffer.add_char b '\n')
+    page.rows;
+  Buffer.add_string b "-- cite as --\n";
+  Buffer.add_string b (Fmt_citation.render_citation Fmt_citation.Human page.citation);
+  Buffer.contents b
+
+let html_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string b "&lt;"
+      | '>' -> Buffer.add_string b "&gt;"
+      | '&' -> Buffer.add_string b "&amp;"
+      | '"' -> Buffer.add_string b "&quot;"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_html page =
+  let b = Buffer.create 1024 in
+  (* the caption is escaped once, wholesale, below *)
+  let caption =
+    page.view
+    ^ String.concat ""
+        (List.map
+           (fun (p, v) -> Printf.sprintf " [%s=%s]" p (R.Value.to_string v))
+           page.params)
+    ^
+    match page.version with
+    | Some v -> Printf.sprintf " @version %d" v
+    | None -> ""
+  in
+  Buffer.add_string b
+    (Printf.sprintf "<section class=\"datacite-page\">\n<h2>%s</h2>\n"
+       (html_escape caption));
+  Buffer.add_string b "<table>\n<tr>";
+  List.iter
+    (fun c -> Buffer.add_string b (Printf.sprintf "<th>%s</th>" (html_escape c)))
+    page.columns;
+  Buffer.add_string b "</tr>\n";
+  List.iter
+    (fun row ->
+      Buffer.add_string b "<tr>";
+      List.iter
+        (fun v ->
+          Buffer.add_string b
+            (Printf.sprintf "<td>%s</td>" (html_escape (R.Value.to_string v))))
+        (R.Tuple.to_list row);
+      Buffer.add_string b "</tr>\n")
+    page.rows;
+  Buffer.add_string b "</table>\n<aside class=\"cite-as\">\n<h3>Cite as</h3>\n<p>";
+  Buffer.add_string b
+    (html_escape (Fmt_citation.render_citation Fmt_citation.Human page.citation));
+  Buffer.add_string b "</p>\n<pre>";
+  Buffer.add_string b
+    (html_escape (Fmt_citation.render_citation Fmt_citation.Bibtex page.citation));
+  Buffer.add_string b "</pre>\n</aside>\n</section>";
+  Buffer.contents b

@@ -1,0 +1,35 @@
+(** An interactive shell for defining citation views and citing queries
+    — a concrete answer to the paper's §3 call for "a user-friendly
+    interface with appropriate defaults".
+
+    The evaluator is a pure function from a state and an input line to
+    a new state and a reply, so front ends (the [datacite-repl] binary,
+    tests) just drive it.  Commands:
+
+    {v
+      help                       this text
+      load data <dir>            CSV database (schema.spec + *.csv)
+      load views <file>          view spec file
+      defaults [blurb]           install generated default views
+      view <CQ>                  begin a citation view definition
+      cite <CQ>                  attach a citation query to it
+      done                       finish the pending view
+      views                      list installed views
+      policy <k>=<v> ...         joint|alt|agg=union|join,
+                                 alt_r=min-size|keep-all|first
+      q <CQ>                     cite a Datalog query
+      sql <SELECT ...>           cite a SQL query
+      page <view> [k=v ...]      render a web-page view
+      bib                        show the bibliography of cited queries
+    v} *)
+
+type state
+
+val initial : state
+
+val eval : state -> string -> state * string
+(** Never raises; errors come back as the reply text.  Empty lines and
+    [#] comments reply with [""]. *)
+
+val eval_script : state -> string list -> state * string list
+(** Folds {!eval} over the lines, collecting non-empty replies. *)

@@ -1,0 +1,171 @@
+module R = Dc_relational
+module Cq = Dc_cq
+
+let strip_comments src =
+  String.split_on_char '\n' src
+  |> List.map (fun line ->
+         match String.index_opt line '#' with
+         | Some i -> String.sub line 0 i
+         | None -> line)
+  |> String.concat "\n"
+
+let parse_views src =
+  let statements =
+    strip_comments src |> String.split_on_char ';'
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let parse_stmt s =
+    let keyword, rest =
+      match String.index_opt s ' ' with
+      | None -> (s, "")
+      | Some i ->
+          (String.sub s 0 i, String.sub s i (String.length s - i))
+    in
+    match String.lowercase_ascii keyword with
+    | "view" -> Result.map (fun q -> `View q) (Cq.Parser.parse_query rest)
+    | "cite" -> Result.map (fun q -> `Cite q) (Cq.Parser.parse_query rest)
+    | k -> Error (Printf.sprintf "expected 'view' or 'cite', got %S" k)
+  in
+  let rec assemble acc current = function
+    | [] -> (
+        match current with
+        | None -> Ok (List.rev acc)
+        | Some (v, cites) -> (
+            match Citation_view.make ~view:v ~citations:(List.rev cites) () with
+            | Ok cv -> Ok (List.rev (cv :: acc))
+            | Error e -> Error e))
+    | `View q :: rest -> (
+        match current with
+        | None -> assemble acc (Some (q, [])) rest
+        | Some (v, cites) -> (
+            match Citation_view.make ~view:v ~citations:(List.rev cites) () with
+            | Ok cv -> assemble (cv :: acc) (Some (q, [])) rest
+            | Error e -> Error e))
+    | `Cite q :: rest -> (
+        match current with
+        | None ->
+            Error
+              (Printf.sprintf "cite %s appears before any view"
+                 (Cq.Query.name q))
+        | Some (v, cites) -> assemble acc (Some (v, q :: cites)) rest)
+  in
+  let rec parse_all acc = function
+    | [] -> Ok (List.rev acc)
+    | s :: rest -> (
+        match parse_stmt s with
+        | Ok stmt -> parse_all (stmt :: acc) rest
+        | Error e -> Error e)
+  in
+  Result.bind (parse_all [] statements) (fun stmts -> assemble [] None stmts)
+
+let parse_schema_line line =
+  let line = String.trim line in
+  match String.index_opt line '(' with
+  | None -> Error (Printf.sprintf "schema line %S: expected '('" line)
+  | Some i ->
+      let name = String.trim (String.sub line 0 i) in
+      let rest = String.sub line (i + 1) (String.length line - i - 1) in
+      let rest =
+        match String.rindex_opt rest ')' with
+        | Some j -> String.sub rest 0 j
+        | None -> rest
+      in
+      let cols = String.split_on_char ',' rest |> List.map String.trim in
+      let parse_col c =
+        let is_key = String.length c > 0 && c.[String.length c - 1] = '*' in
+        let c = if is_key then String.sub c 0 (String.length c - 1) else c in
+        match String.split_on_char ':' c with
+        | [ col; ty ] -> (
+            match R.Value.ty_of_string (String.trim ty) with
+            | Ok ty -> Ok (String.trim col, ty, is_key)
+            | Error e -> Error e)
+        | [ col ] -> Ok (String.trim col, R.Value.TAny, is_key)
+        | _ -> Error (Printf.sprintf "bad column spec %S" c)
+      in
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | c :: rest -> (
+            match parse_col c with
+            | Ok col -> go (col :: acc) rest
+            | Error e -> Error e)
+      in
+      Result.map
+        (fun cols ->
+          let attrs =
+            List.map (fun (n, ty, _) -> R.Schema.attr ~ty n) cols
+          in
+          let key =
+            List.filter_map (fun (n, _, k) -> if k then Some n else None) cols
+          in
+          R.Schema.make name ~key attrs)
+        (go [] cols)
+
+let parse_schemas src =
+  let lines =
+    strip_comments src |> String.split_on_char '\n'
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | l :: rest -> (
+        match parse_schema_line l with
+        | Ok s -> go (s :: acc) rest
+        | Error e -> Error e)
+  in
+  go [] lines
+
+let read_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  contents
+
+let load_database ~dir =
+  let schema_path = Filename.concat dir "schema.spec" in
+  if not (Sys.file_exists schema_path) then
+    Error (Printf.sprintf "no schema.spec in %s" dir)
+  else
+    match parse_schemas (read_file schema_path) with
+    | Error e -> Error e
+    | Ok schemas ->
+        let rec load db = function
+          | [] -> Ok db
+          | schema :: rest -> (
+              let csv = Filename.concat dir (R.Schema.name schema ^ ".csv") in
+              if Sys.file_exists csv then
+                match R.Csv_io.load_relation schema csv with
+                | Ok rel -> load (R.Database.add_relation db rel) rest
+                | Error e ->
+                    Error (Printf.sprintf "%s: %s" (R.Schema.name schema) e)
+              else load (R.Database.create_relation db schema) rest)
+        in
+        load R.Database.empty schemas
+
+let render_schemas schemas =
+  let render_schema s =
+    let cols =
+      List.map
+        (fun (a : R.Schema.attribute) ->
+          Printf.sprintf "%s:%s%s" a.name
+            (R.Value.ty_to_string a.ty)
+            (if List.mem a.name (R.Schema.key s) then "*" else ""))
+        (R.Schema.attributes s)
+    in
+    Printf.sprintf "%s(%s)" (R.Schema.name s) (String.concat ", " cols)
+  in
+  String.concat "\n" (List.map render_schema schemas) ^ "\n"
+
+let save_database db ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let schemas = List.map R.Relation.schema (R.Database.relations db) in
+  let oc = open_out (Filename.concat dir "schema.spec") in
+  output_string oc (render_schemas schemas);
+  close_out oc;
+  List.iter
+    (fun rel ->
+      R.Csv_io.save_relation rel
+        (Filename.concat dir (R.Relation.name rel ^ ".csv")))
+    (R.Database.relations db)

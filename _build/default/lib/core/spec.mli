@@ -1,0 +1,34 @@
+(** Textual specification of citation views and schemas, used by the
+    command-line tool.
+
+    View spec (statements end with [";"], comments with [#]):
+    {v
+      view lambda FID. V1(FID,FName,Desc) :- Family(FID,FName,Desc);
+      cite lambda FID. CV1(FID,PName) :- Committee(FID,PName);
+
+      view V2(FID,FName,Desc) :- Family(FID,FName,Desc);
+      cite CV2(D) :- D=<blurb string literal>;
+    v}
+    Each [view] statement opens a citation view; the [cite] statements
+    that follow (at least one) attach its citation queries.
+
+    Schema spec (one relation per line, [*] marks key columns):
+    {v
+      Family(FID:int*, FName:string, Desc:string)
+      Committee(FID:int*, PName:string* )
+    v} *)
+
+val parse_views : string -> (Citation_view.t list, string) result
+val parse_schemas : string -> (Dc_relational.Schema.t list, string) result
+
+val load_database :
+  dir:string -> (Dc_relational.Database.t, string) result
+(** Reads [schema.spec] in [dir], then one [<Relation>.csv] per declared
+    relation (a missing file leaves the relation empty). *)
+
+val render_schemas : Dc_relational.Schema.t list -> string
+(** Inverse of {!parse_schemas}. *)
+
+val save_database : Dc_relational.Database.t -> dir:string -> unit
+(** Writes [schema.spec] and one [<Relation>.csv] per relation
+    (creating [dir] if needed); inverse of {!load_database}. *)

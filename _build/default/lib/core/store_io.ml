@@ -1,0 +1,53 @@
+module R = Dc_relational
+
+let base_dir dir = Filename.concat dir "base"
+let deltas_dir dir = Filename.concat dir "deltas"
+let delta_path ~dir v = Filename.concat (deltas_dir dir) (Printf.sprintf "%06d.delta" v)
+
+let init ~dir db =
+  if Sys.file_exists (base_dir dir) then
+    Error (Printf.sprintf "%s already contains a store" dir)
+  else begin
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    Spec.save_database db ~dir:(base_dir dir);
+    Sys.mkdir (deltas_dir dir) 0o755;
+    Ok ()
+  end
+
+let delta_files dir =
+  if not (Sys.file_exists (deltas_dir dir)) then []
+  else
+    Sys.readdir (deltas_dir dir)
+    |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".delta")
+    |> List.sort String.compare
+    |> List.map (Filename.concat (deltas_dir dir))
+
+let load ~dir =
+  match Spec.load_database ~dir:(base_dir dir) with
+  | Error e -> Error (Printf.sprintf "loading base: %s" e)
+  | Ok base ->
+      let schemas = List.map R.Relation.schema (R.Database.relations base) in
+      let rec replay store = function
+        | [] -> Ok store
+        | path :: rest -> (
+            match R.Delta_io.load ~schemas path with
+            | Error e -> Error (Printf.sprintf "%s: %s" path e)
+            | Ok delta -> (
+                match R.Version_store.commit_delta store delta with
+                | store, _ -> replay store rest
+                | exception (Not_found | Invalid_argument _) ->
+                    Error (Printf.sprintf "%s: delta does not apply" path)))
+      in
+      replay (R.Version_store.create base) (delta_files dir)
+
+let commit ~dir delta =
+  match load ~dir with
+  | Error e -> Error e
+  | Ok store -> (
+      match R.Version_store.commit_delta store delta with
+      | exception (Not_found | Invalid_argument _) ->
+          Error "delta does not apply to the current head"
+      | _, v ->
+          R.Delta_io.save delta (delta_path ~dir v);
+          Ok v)

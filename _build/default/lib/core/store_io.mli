@@ -1,0 +1,29 @@
+(** On-disk persistence for the versioned store — durable fixity.
+
+    Layout of a store directory:
+    {v
+      store/
+        base/             version 0 (schema.spec + <Relation>.csv)
+        deltas/
+          000001.delta    version 1 = version 0 + this delta
+          000002.delta    ...
+    v}
+    Commits append delta files; loading replays them, so any historical
+    version can be checked out and any old citation resolved after a
+    process restart. *)
+
+val init : dir:string -> Dc_relational.Database.t -> (unit, string) result
+(** Creates the layout with the database as version 0.  Fails when the
+    directory already contains a store. *)
+
+val load : dir:string -> (Dc_relational.Version_store.t, string) result
+
+val commit :
+  dir:string ->
+  Dc_relational.Delta.t ->
+  (Dc_relational.Version_store.version, string) result
+(** Validates the delta against the current head (by replay), appends
+    its file, and returns the new version number. *)
+
+val delta_path : dir:string -> int -> string
+(** Path of the delta file creating the given version (≥ 1). *)

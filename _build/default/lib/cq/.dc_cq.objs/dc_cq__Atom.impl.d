@@ -1,0 +1,1 @@
+lib/cq/atom.ml: Format Hashtbl List String Term

@@ -1,0 +1,1 @@
+lib/cq/atom.mli: Dc_relational Format Term

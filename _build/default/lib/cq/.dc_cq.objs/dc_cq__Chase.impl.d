@@ -1,0 +1,1 @@
+lib/cq/chase.ml: Atom Dependency Homomorphism List Printf Query String Subst Term

@@ -1,0 +1,1 @@
+lib/cq/containment.ml: Atom Dc_relational Homomorphism List Printf Query Term

@@ -1,0 +1,1 @@
+lib/cq/containment.mli: Dc_relational Query Subst

@@ -1,0 +1,1 @@
+lib/cq/dependency.ml: Atom Dc_relational Format Fun List Printf Term

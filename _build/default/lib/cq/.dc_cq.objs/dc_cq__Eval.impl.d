@@ -1,0 +1,1 @@
+lib/cq/eval.ml: Atom Dc_relational Format Hashtbl List Map Option Printf Query String Term

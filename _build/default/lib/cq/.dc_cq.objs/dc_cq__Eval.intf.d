@@ -1,0 +1,1 @@
+lib/cq/eval.mli: Dc_relational Format Query

@@ -1,0 +1,1 @@
+lib/cq/homomorphism.ml: Atom Dc_relational List Map Option Query String Subst Term

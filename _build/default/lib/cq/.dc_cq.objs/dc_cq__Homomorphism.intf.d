@@ -1,0 +1,1 @@
+lib/cq/homomorphism.mli: Atom Query Subst

@@ -1,0 +1,1 @@
+lib/cq/minimize.ml: Containment List Query

@@ -1,0 +1,1 @@
+lib/cq/minimize.mli: Atom Query

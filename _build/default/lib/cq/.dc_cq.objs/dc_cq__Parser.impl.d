@@ -1,0 +1,1 @@
+lib/cq/parser.ml: Atom Buffer Dc_relational List Printf Query String Subst Term

@@ -1,0 +1,1 @@
+lib/cq/schema_check.ml: Atom Dc_relational Format List Query String Term

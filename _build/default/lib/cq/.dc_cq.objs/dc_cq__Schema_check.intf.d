@@ -1,0 +1,1 @@
+lib/cq/schema_check.mli: Atom Dc_relational Format Query

@@ -1,0 +1,1 @@
+lib/cq/sql.ml: Atom Buffer Dc_relational List Option Printf Query Result String Subst Term Unify

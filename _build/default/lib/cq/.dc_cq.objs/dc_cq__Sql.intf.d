@@ -1,0 +1,1 @@
+lib/cq/sql.mli: Dc_relational Query

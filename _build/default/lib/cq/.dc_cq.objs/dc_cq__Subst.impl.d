@@ -1,0 +1,1 @@
+lib/cq/subst.ml: Atom Format List Map String Term

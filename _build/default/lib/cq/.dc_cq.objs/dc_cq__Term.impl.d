@@ -1,0 +1,1 @@
+lib/cq/term.ml: Dc_relational Format Map Set String

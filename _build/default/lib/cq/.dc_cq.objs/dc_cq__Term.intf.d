@@ -1,0 +1,1 @@
+lib/cq/term.mli: Dc_relational Format Map Set

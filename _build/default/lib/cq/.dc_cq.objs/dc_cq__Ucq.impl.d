@@ -1,0 +1,1 @@
+lib/cq/ucq.ml: Containment Dc_relational Eval Format List Option Printf Query

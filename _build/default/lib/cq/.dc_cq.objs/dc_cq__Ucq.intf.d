@@ -1,0 +1,1 @@
+lib/cq/ucq.mli: Dc_relational Eval Format Query

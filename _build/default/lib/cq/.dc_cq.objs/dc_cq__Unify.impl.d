@@ -1,0 +1,1 @@
+lib/cq/unify.ml: Atom Dc_relational Hashtbl List Option String Subst Term

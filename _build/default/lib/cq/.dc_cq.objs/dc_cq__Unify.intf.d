@@ -1,0 +1,1 @@
+lib/cq/unify.mli: Atom Subst Term

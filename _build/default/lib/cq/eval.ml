@@ -1,0 +1,193 @@
+module R = Dc_relational
+module Smap = Map.Make (String)
+
+exception Unknown_relation of string
+
+module Binding = struct
+  type t = R.Value.t Smap.t
+
+  let empty = Smap.empty
+  let find b v = Smap.find_opt v b
+
+  let find_exn b v =
+    match Smap.find_opt v b with Some x -> x | None -> raise Not_found
+
+  let bind b v x = Smap.add v x b
+  let to_list b = Smap.bindings b
+  let of_list l = List.fold_left (fun b (v, x) -> Smap.add v x b) empty l
+  let values b vars = List.map (find_exn b) vars
+  let restrict b vars = Smap.filter (fun v _ -> List.mem v vars) b
+  let compare = Smap.compare R.Value.compare
+  let equal a b = compare a b = 0
+
+  let pp ppf b =
+    let pp_one ppf (v, x) = Format.fprintf ppf "%s=%a" v R.Value.pp x in
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+         pp_one)
+      (Smap.bindings b)
+end
+
+let is_truth atom = Atom.pred atom = "True" && Atom.args atom = []
+
+(* Index cache keyed by (predicate, bound positions).  Entries remember
+   the relation value they were built from; a lookup against a
+   different relation value (the database evolved) rebuilds.  This
+   makes caches shareable across evaluations and engines. *)
+type cache = (string * int list, R.Relation.t * R.Index.t) Hashtbl.t
+
+let make_cache () : cache = Hashtbl.create 32
+
+let relation_of db pred =
+  match R.Database.relation db pred with
+  | Some r -> r
+  | None -> raise (Unknown_relation pred)
+
+let index_for (cache : cache) db pred positions =
+  let rel = relation_of db pred in
+  match Hashtbl.find_opt cache (pred, positions) with
+  | Some (rel0, idx) when rel0 == rel -> idx
+  | _ ->
+      let idx = R.Index.build rel positions in
+      Hashtbl.replace cache (pred, positions) (rel, idx);
+      idx
+
+(* Partition an atom's argument positions into bound (constant or
+   already-bound variable) and free, under the current binding. *)
+let split_positions binding atom =
+  let rec go i bound free = function
+    | [] -> (List.rev bound, List.rev free)
+    | Term.Const c :: rest -> go (i + 1) ((i, c) :: bound) free rest
+    | Term.Var v :: rest -> (
+        match Binding.find binding v with
+        | Some c -> go (i + 1) ((i, c) :: bound) free rest
+        | None -> go (i + 1) bound ((i, v) :: free) rest)
+  in
+  go 0 [] [] (Atom.args atom)
+
+(* Extend [binding] with the free variables of [atom] matched against
+   [tuple]; fails when a repeated free variable meets two different
+   values. *)
+let extend_with_tuple binding atom tuple =
+  let rec go binding i = function
+    | [] -> Some binding
+    | Term.Const _ :: rest -> go binding (i + 1) rest
+    | Term.Var v :: rest -> (
+        let x = R.Tuple.get tuple i in
+        match Binding.find binding v with
+        | Some existing ->
+            if R.Value.equal existing x then go binding (i + 1) rest else None
+        | None -> go (Binding.bind binding v x) (i + 1) rest)
+  in
+  go binding 0 (Atom.args atom)
+
+let bindings ?cache db q =
+  let cache =
+    match cache with Some c -> c | None -> (Hashtbl.create 8 : cache)
+  in
+  let rec join binding acc = function
+    | [] -> binding :: acc
+    | atom :: rest when is_truth atom -> join binding acc rest
+    | atom :: rest ->
+        let bound, _free = split_positions binding atom in
+        let candidates =
+          if bound = [] then R.Relation.tuples (relation_of db (Atom.pred atom))
+          else
+            let positions = List.map fst bound in
+            let key = List.map snd bound in
+            R.Index.lookup (index_for cache db (Atom.pred atom) positions) key
+        in
+        List.fold_left
+          (fun acc tuple ->
+            match extend_with_tuple binding atom tuple with
+            | Some binding -> join binding acc rest
+            | None -> acc)
+          acc candidates
+  in
+  (* Reorder body atoms greedily: start from the atom with most
+     constants, then prefer atoms sharing variables with what is already
+     bound, keeping index lookups keyed as tightly as possible. *)
+  let score bound_vars atom =
+    let args = Atom.args atom in
+    let bound =
+      List.length
+        (List.filter
+           (function
+             | Term.Const _ -> true
+             | Term.Var v -> List.mem v bound_vars)
+           args)
+    in
+    (bound * 100) - List.length args
+  in
+  let rec order bound_vars remaining acc =
+    match remaining with
+    | [] -> List.rev acc
+    | _ ->
+        let best =
+          List.fold_left
+            (fun best a ->
+              match best with
+              | None -> Some a
+              | Some b ->
+                  if score bound_vars a > score bound_vars b then Some a
+                  else best)
+            None remaining
+        in
+        let best = Option.get best in
+        let remaining = List.filter (fun a -> not (a == best)) remaining in
+        order (Atom.var_list best @ bound_vars) remaining (best :: acc)
+  in
+  let ordered = order [] (Query.body q) [] in
+  join Binding.empty [] ordered
+
+let tuple_of_binding q binding =
+  R.Tuple.make
+    (List.map
+       (function
+         | Term.Const c -> c
+         | Term.Var v -> Binding.find_exn binding v)
+       (Query.head q))
+
+let run ?cache db q =
+  let groups =
+    List.fold_left
+      (fun m b ->
+        let t = tuple_of_binding q b in
+        let existing = Option.value ~default:[] (R.Tuple.Map.find_opt t m) in
+        R.Tuple.Map.add t (b :: existing) m)
+      R.Tuple.Map.empty (bindings ?cache db q)
+  in
+  R.Tuple.Map.bindings groups
+
+let result_schema q =
+  let cols =
+    List.mapi
+      (fun i t ->
+        match t with
+        | Term.Var v -> R.Schema.attr v
+        | Term.Const _ -> R.Schema.attr (Printf.sprintf "c%d" i))
+      (Query.head q)
+  in
+  (* Head columns can repeat a variable; disambiguate with position. *)
+  let seen = Hashtbl.create 8 in
+  let cols =
+    List.mapi
+      (fun i (a : R.Schema.attribute) ->
+        if Hashtbl.mem seen a.name then
+          R.Schema.attr (Printf.sprintf "%s_%d" a.name i)
+        else begin
+          Hashtbl.add seen a.name ();
+          a
+        end)
+      cols
+  in
+  R.Schema.make (Query.name q) cols
+
+let result ?cache db q =
+  List.fold_left
+    (fun rel (t, _) -> R.Relation.insert rel t)
+    (R.Relation.empty (result_schema q))
+    (run ?cache db q)
+
+let holds ?cache db q = bindings ?cache db q <> []

@@ -1,0 +1,72 @@
+(** Bottom-up evaluation of conjunctive queries over a database.
+
+    Besides the output relation, the evaluator exposes the full set of
+    {e bindings} behind each output tuple: Definition 2.2 of the paper
+    sums citations over "the set of all bindings for Q' that yield a
+    tuple t", so the citation engine needs β_t, not just t.
+
+    Join processing is index-nested-loops: for every (relation,
+    bound-positions) pair encountered, a hash index is built once per
+    evaluation and reused.  The nullary predicate [True] is built in and
+    always holds. *)
+
+exception Unknown_relation of string
+
+module Binding : sig
+  (** A binding: total valuation of a query's variables. *)
+
+  type t
+
+  val empty : t
+  val find : t -> string -> Dc_relational.Value.t option
+  val find_exn : t -> string -> Dc_relational.Value.t
+  val bind : t -> string -> Dc_relational.Value.t -> t
+  val to_list : t -> (string * Dc_relational.Value.t) list
+  val of_list : (string * Dc_relational.Value.t) list -> t
+
+  val values : t -> string list -> Dc_relational.Value.t list
+  (** Values of the listed variables, in order.
+      Raises [Not_found] when one is unbound. *)
+
+  val restrict : t -> string list -> t
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+type cache
+(** A reusable index cache.  Entries are validated against the current
+    relation value (physical equality), so one cache can safely serve
+    many evaluations over evolving persistent databases: stale entries
+    are rebuilt transparently.  Sharing a cache turns repeated
+    evaluations over the same extents — e.g. resolving thousands of
+    parameterized citation leaves — from index-build-bound into pure
+    lookups. *)
+
+val make_cache : unit -> cache
+
+val bindings : ?cache:cache -> Dc_relational.Database.t -> Query.t -> Binding.t list
+(** All satisfying valuations of the query body, in no particular
+    order.  Duplicates cannot arise (set semantics on relations). *)
+
+val tuple_of_binding : Query.t -> Binding.t -> Dc_relational.Tuple.t
+(** The head tuple a binding produces. *)
+
+val run :
+  ?cache:cache ->
+  Dc_relational.Database.t ->
+  Query.t ->
+  (Dc_relational.Tuple.t * Binding.t list) list
+(** Output tuples grouped with the bindings that produce them, sorted by
+    tuple. *)
+
+val result :
+  ?cache:cache ->
+  Dc_relational.Database.t ->
+  Query.t ->
+  Dc_relational.Relation.t
+(** Just the output relation; its schema is named after the query with
+    columns named after head variables ([ci] for constant positions). *)
+
+val holds : ?cache:cache -> Dc_relational.Database.t -> Query.t -> bool
+(** Whether the query has at least one answer (boolean query support). *)

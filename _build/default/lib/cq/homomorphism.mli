@@ -1,0 +1,25 @@
+(** Homomorphisms between conjunctive queries.
+
+    A homomorphism from query [src] to query [dst] is a substitution [h]
+    on the variables of [src] such that [h] maps every body atom of
+    [src] to some body atom of [dst] and maps the head of [src] to the
+    head of [dst] (term by term).  Constants only map to themselves.
+    Existence of a homomorphism [Q2 → Q1] is exactly containment
+    [Q1 ⊆ Q2] (Chandra–Merlin). *)
+
+val embed_atoms :
+  ?init:Subst.t -> Atom.t list -> Atom.t list -> Subst.t option
+(** [embed_atoms src dst] finds a substitution mapping every atom of
+    [src] to some atom of [dst], extending [init].  Backtracking search
+    with a predicate index on [dst]. *)
+
+val embed_atoms_all :
+  ?init:Subst.t -> Atom.t list -> Atom.t list -> Subst.t list
+(** All such substitutions (restricted to variables of [src] plus the
+    domain of [init]); exponential in the worst case. *)
+
+val find : src:Query.t -> dst:Query.t -> Subst.t option
+(** Full homomorphism including the head condition. *)
+
+val find_all : src:Query.t -> dst:Query.t -> Subst.t list
+val exists : src:Query.t -> dst:Query.t -> bool

@@ -1,0 +1,282 @@
+module Value = Dc_relational.Value
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | TURNSTILE
+  | EQ
+  | SEMI
+  | LAMBDA
+  | EOF
+
+exception Parse_error of int * string
+
+let fail pos msg = raise (Parse_error (pos, msg))
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+(* The lexer produces a list of (token, position) pairs. *)
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let emit pos t = toks := (t, pos) :: !toks in
+  let rec skip_line i = if i < n && src.[i] <> '\n' then skip_line (i + 1) else i in
+  let rec go i =
+    if i >= n then emit i EOF
+    else
+      match src.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1)
+      | '#' | '%' -> go (skip_line i)
+      | '(' ->
+          emit i LPAREN;
+          go (i + 1)
+      | ')' ->
+          emit i RPAREN;
+          go (i + 1)
+      | ',' ->
+          emit i COMMA;
+          go (i + 1)
+      | '.' ->
+          emit i DOT;
+          go (i + 1)
+      | ';' ->
+          emit i SEMI;
+          go (i + 1)
+      | '=' ->
+          emit i EQ;
+          go (i + 1)
+      | ':' ->
+          if i + 1 < n && src.[i + 1] = '-' then begin
+            emit i TURNSTILE;
+            go (i + 2)
+          end
+          else fail i "expected ':-'"
+      | ('"' | '\'') as quote ->
+          let buf = Buffer.create 16 in
+          let rec scan j =
+            if j >= n then fail i "unterminated string literal"
+            else if src.[j] = quote then j + 1
+            else if src.[j] = '\\' && j + 1 < n then begin
+              Buffer.add_char buf src.[j + 1];
+              scan (j + 2)
+            end
+            else begin
+              Buffer.add_char buf src.[j];
+              scan (j + 1)
+            end
+          in
+          let next = scan (i + 1) in
+          emit i (STRING (Buffer.contents buf));
+          go next
+      | c when is_digit c || (c = '-' && i + 1 < n && is_digit src.[i + 1]) ->
+          let j = ref (if c = '-' then i + 1 else i) in
+          while !j < n && is_digit src.[!j] do incr j done;
+          let is_float = !j < n && src.[!j] = '.' && !j + 1 < n && is_digit src.[!j + 1] in
+          if is_float then begin
+            incr j;
+            while !j < n && is_digit src.[!j] do incr j done
+          end;
+          let text = String.sub src i (!j - i) in
+          emit i (if is_float then FLOAT (float_of_string text) else INT (int_of_string text));
+          go !j
+      | c when is_ident_start c ->
+          let j = ref i in
+          while !j < n && is_ident_char src.[!j] do incr j done;
+          let text = String.sub src i (!j - i) in
+          if String.lowercase_ascii text = "lambda" then emit i LAMBDA
+          else emit i (IDENT text);
+          go !j
+      (* UTF-8 λ is 0xCE 0xBB *)
+      | '\xce' when i + 1 < n && src.[i + 1] = '\xbb' ->
+          emit i LAMBDA;
+          go (i + 2)
+      | c -> fail i (Printf.sprintf "unexpected character %C" c)
+  in
+  go 0;
+  List.rev !toks
+
+(* A tiny stream over the token list. *)
+type state = { mutable toks : (token * int) list }
+
+let peek st = match st.toks with [] -> (EOF, -1) | t :: _ -> t
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st want describe =
+  let t, pos = peek st in
+  if t = want then advance st else fail pos ("expected " ^ describe)
+
+let parse_ident st =
+  match peek st with
+  | IDENT s, _ ->
+      advance st;
+      s
+  | _, pos -> fail pos "expected identifier"
+
+let parse_term st =
+  match peek st with
+  | IDENT s, _ ->
+      advance st;
+      Term.Var s
+  | INT i, _ ->
+      advance st;
+      Term.Const (Value.Int i)
+  | FLOAT f, _ ->
+      advance st;
+      Term.Const (Value.Float f)
+  | STRING s, _ ->
+      advance st;
+      Term.Const (Value.Str s)
+  | _, pos -> fail pos "expected term"
+
+let parse_term_list st =
+  expect st LPAREN "'('";
+  match peek st with
+  | RPAREN, _ ->
+      advance st;
+      []
+  | _ ->
+  let rec go acc =
+    let t = parse_term st in
+    match peek st with
+    | COMMA, _ ->
+        advance st;
+        go (t :: acc)
+    | RPAREN, _ ->
+        advance st;
+        List.rev (t :: acc)
+    | _, pos -> fail pos "expected ',' or ')'"
+  in
+  go []
+
+(* A body item is a relational atom or an equality [x = const]. *)
+type body_item = BAtom of Atom.t | BEq of string * Value.t
+
+let parse_body_item st =
+  let name = parse_ident st in
+  match peek st with
+  | LPAREN, _ -> BAtom (Atom.make name (parse_term_list st))
+  | EQ, _ -> (
+      advance st;
+      match peek st with
+      | INT i, _ ->
+          advance st;
+          BEq (name, Value.Int i)
+      | FLOAT f, _ ->
+          advance st;
+          BEq (name, Value.Float f)
+      | STRING s, _ ->
+          advance st;
+          BEq (name, Value.Str s)
+      | _, pos -> fail pos "expected constant after '='")
+  | _, pos -> fail pos "expected '(' or '='"
+
+let parse_one st =
+  let params =
+    match peek st with
+    | LAMBDA, _ ->
+        advance st;
+        let rec go acc =
+          let p = parse_ident st in
+          match peek st with
+          | COMMA, _ ->
+              advance st;
+              go (p :: acc)
+          | DOT, _ ->
+              advance st;
+              List.rev (p :: acc)
+          | _, pos -> fail pos "expected ',' or '.' in lambda parameter list"
+        in
+        go []
+    | _ -> []
+  in
+  let name = parse_ident st in
+  let head = parse_term_list st in
+  expect st TURNSTILE "':-'";
+  let rec go acc =
+    let item = parse_body_item st in
+    match peek st with
+    | COMMA, _ ->
+        advance st;
+        go (item :: acc)
+    | _ -> List.rev (item :: acc)
+  in
+  let items = go [] in
+  let atoms =
+    List.filter_map (function BAtom a -> Some a | BEq _ -> None) items
+  in
+  let eqs =
+    List.filter_map (function BEq (v, c) -> Some (v, Term.Const c) | BAtom _ -> None) items
+  in
+  let s = Subst.of_list eqs in
+  (* Equalities are eliminated by substitution.  A head of only equalities
+     (the paper's CV2) yields a body-less query; we keep it safe by adding
+     a vacuous truth atom over a 0-ary predicate is not needed — instead
+     the substituted head becomes all-constant and we synthesize a single
+     atom-free query via a unit body is disallowed, so we reject unless
+     at least one relational atom remains or all head terms are constant. *)
+  let head = List.map (Subst.apply_term s) head in
+  let atoms = Subst.apply_atoms s atoms in
+  let params =
+    List.filter (fun p -> not (List.mem_assoc p eqs)) params
+  in
+  let body =
+    if atoms = [] then [ Atom.make "True" [] ] else atoms
+  in
+  match Query.make ~params ~name ~head ~body () with
+  | Ok q -> q
+  | Error e -> fail (-1) e
+
+let run f src =
+  match tokenize src with
+  | exception Parse_error (pos, msg) ->
+      Error (Printf.sprintf "parse error at %d: %s" pos msg)
+  | toks -> (
+      let st = { toks } in
+      match f st with
+      | exception Parse_error (pos, msg) ->
+          Error (Printf.sprintf "parse error at %d: %s" pos msg)
+      | v -> Ok v)
+
+let parse_query src =
+  run
+    (fun st ->
+      let q = parse_one st in
+      (match peek st with
+      | SEMI, _ -> advance st
+      | _ -> ());
+      match peek st with
+      | EOF, _ -> q
+      | _, pos -> fail pos "trailing input after query")
+    src
+
+let parse_query_exn src =
+  match parse_query src with Ok q -> q | Error e -> invalid_arg e
+
+let parse_program src =
+  run
+    (fun st ->
+      let rec go acc =
+        match peek st with
+        | EOF, _ -> List.rev acc
+        | _ ->
+            let q = parse_one st in
+            (match peek st with
+            | SEMI, _ -> advance st
+            | EOF, _ -> ()
+            | _, pos -> fail pos "expected ';' between queries");
+            go (q :: acc)
+      in
+      go [])
+    src

@@ -1,0 +1,29 @@
+(** Parser for the Datalog-style concrete syntax of conjunctive queries.
+
+    Grammar (comments run from [#] or [%] to end of line):
+    {v
+      query  ::= [ ("lambda"|"λ") ident ("," ident)* "." ] head ":-" body
+      head   ::= ident "(" term ("," term)* ")"
+      body   ::= batom ("," batom)*
+      batom  ::= ident "(" term ("," term)* ")"     relational atom
+               | ident "=" const                     equality, eliminated by
+                                                     substituting the constant
+      term   ::= ident | const
+      const  ::= integer | float | "string" | 'string'
+    v}
+
+    Bare identifiers in term position are variables; predicate names are
+    the identifiers in front of parentheses, so the usual
+    uppercase/lowercase Datalog convention is unnecessary.  The equality
+    form covers the paper's [CV2(D) :- D="IUPHAR/BPS Guide ..."] style of
+    constant-only citation queries. *)
+
+val parse_query : string -> (Query.t, string) result
+(** Parses a single query.  The error message carries a character
+    position. *)
+
+val parse_query_exn : string -> Query.t
+
+val parse_program : string -> (Query.t list, string) result
+(** Parses a sequence of queries separated by [";"].  A trailing [";"]
+    is allowed. *)

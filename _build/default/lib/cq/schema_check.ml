@@ -1,0 +1,61 @@
+module R = Dc_relational
+
+type problem =
+  | Unknown_relation of string
+  | Arity_mismatch of { pred : string; expected : int; actual : int }
+  | Type_mismatch of {
+      pred : string;
+      position : int;
+      expected : R.Value.ty;
+      value : R.Value.t;
+    }
+
+let pp_problem ppf = function
+  | Unknown_relation r -> Format.fprintf ppf "unknown relation %s" r
+  | Arity_mismatch { pred; expected; actual } ->
+      Format.fprintf ppf "%s expects %d arguments, got %d" pred expected actual
+  | Type_mismatch { pred; position; expected; value } ->
+      Format.fprintf ppf "%s argument %d: %a does not fit column type %a" pred
+        position R.Value.pp value R.Value.pp_ty expected
+
+let problem_to_string p = Format.asprintf "%a" pp_problem p
+
+let check_atom db atom =
+  if Atom.pred atom = "True" && Atom.args atom = [] then []
+  else
+    match R.Database.schema db (Atom.pred atom) with
+    | None -> [ Unknown_relation (Atom.pred atom) ]
+    | Some schema ->
+        let expected = R.Schema.arity schema in
+        let actual = Atom.arity atom in
+        if expected <> actual then
+          [ Arity_mismatch { pred = Atom.pred atom; expected; actual } ]
+        else
+          List.concat
+            (List.mapi
+               (fun i term ->
+                 match term with
+                 | Term.Var _ -> []
+                 | Term.Const v ->
+                     let col = List.nth (R.Schema.attributes schema) i in
+                     if R.Value.conforms v col.ty then []
+                     else
+                       [
+                         Type_mismatch
+                           {
+                             pred = Atom.pred atom;
+                             position = i;
+                             expected = col.ty;
+                             value = v;
+                           };
+                       ])
+               (Atom.args atom))
+
+let check_query db q =
+  List.concat_map (check_atom db) (Query.body q)
+
+let check_query_res db q =
+  match check_query db q with
+  | [] -> Ok ()
+  | problems ->
+      Error (String.concat "\n" (List.map problem_to_string problems))

@@ -1,0 +1,1 @@
+lib/gtopdb/generator.ml: Array Dc_relational Hashtbl Printf Random Schema_def

@@ -1,0 +1,1 @@
+lib/gtopdb/generator.mli: Dc_relational

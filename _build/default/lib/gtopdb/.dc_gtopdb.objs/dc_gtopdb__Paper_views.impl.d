@@ -1,0 +1,1 @@
+lib/gtopdb/paper_views.ml: Dc_citation Dc_cq Dc_relational List Printf Schema_def

@@ -1,0 +1,1 @@
+lib/gtopdb/paper_views.mli: Dc_citation Dc_cq Dc_relational

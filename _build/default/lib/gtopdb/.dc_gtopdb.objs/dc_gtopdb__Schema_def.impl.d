@@ -1,0 +1,1 @@
+lib/gtopdb/schema_def.ml: Dc_relational List

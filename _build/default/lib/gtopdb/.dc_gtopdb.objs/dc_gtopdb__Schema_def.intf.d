@@ -1,0 +1,1 @@
+lib/gtopdb/schema_def.mli: Dc_relational

@@ -1,0 +1,1 @@
+lib/gtopdb/views_catalog.ml: Dc_citation Dc_cq List Paper_views Printf

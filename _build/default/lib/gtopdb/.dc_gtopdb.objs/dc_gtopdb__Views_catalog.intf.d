@@ -1,0 +1,1 @@
+lib/gtopdb/views_catalog.mli: Dc_citation

@@ -1,0 +1,1 @@
+lib/gtopdb/workload.ml: Dc_cq List Printf Random

@@ -1,0 +1,1 @@
+lib/gtopdb/workload.mli: Dc_cq

@@ -1,0 +1,103 @@
+module R = Dc_relational
+module V = Dc_relational.Value
+
+type config = {
+  families : int;
+  duplicate_name_ratio : float;
+  committee_min : int;
+  committee_max : int;
+  intro_ratio : float;
+  targets_per_family : int;
+  contributors : int;
+  references_per_family : int;
+}
+
+let default_config =
+  {
+    families = 100;
+    duplicate_name_ratio = 0.2;
+    committee_min = 1;
+    committee_max = 4;
+    intro_ratio = 0.8;
+    targets_per_family = 2;
+    contributors = 50;
+    references_per_family = 1;
+  }
+
+let scale config ~families = { config with families }
+
+let family_stems =
+  [|
+    "Calcitonin"; "Dopamine"; "Histamine"; "Serotonin"; "Adrenoceptor";
+    "Acetylcholine"; "Glutamate"; "GABA"; "Opioid"; "Cannabinoid";
+    "Chemokine"; "Melatonin"; "Orexin"; "Vasopressin"; "Ghrelin";
+  |]
+
+let person_names =
+  [|
+    "Debbie Hay"; "David Poyner"; "Walter Born"; "Kim Neve"; "Paul Chazot";
+    "Remi Quirion"; "Anthony Davenport"; "Stephen Alexander"; "Eamonn Kelly";
+    "Elena Faccenda"; "Simon Harding"; "Jane Armstrong"; "Chido Mpamhanga";
+  |]
+
+let generate ?(config = default_config) ~seed () =
+  let rng = Random.State.make [| seed |] in
+  let int_range lo hi = lo + Random.State.int rng (max 1 (hi - lo + 1)) in
+  let pick arr = arr.(Random.State.int rng (Array.length arr)) in
+  let chance p = Random.State.float rng 1.0 < p in
+  let db = ref (Schema_def.empty_database ()) in
+  let insert rel values =
+    db := R.Database.insert !db rel (R.Tuple.make values)
+  in
+  (* Families; a duplicate reuses the name of a random earlier family. *)
+  let names = Array.make (max 1 config.families) "" in
+  for fid = 1 to config.families do
+    let name =
+      if fid > 1 && chance config.duplicate_name_ratio then
+        names.(Random.State.int rng (fid - 1))
+      else
+        Printf.sprintf "%s receptors %d" (pick family_stems) fid
+    in
+    names.(fid - 1) <- name;
+    insert "Family"
+      [ V.Int fid; V.Str name; V.Str (Printf.sprintf "Description of family %d" fid) ];
+    let committee_size = int_range config.committee_min config.committee_max in
+    let members = Hashtbl.create committee_size in
+    while Hashtbl.length members < committee_size do
+      Hashtbl.replace members (pick person_names) ()
+    done;
+    Hashtbl.iter
+      (fun pname () -> insert "Committee" [ V.Int fid; V.Str pname ])
+      members;
+    if chance config.intro_ratio then
+      insert "FamilyIntro"
+        [ V.Int fid; V.Str (Printf.sprintf "Introduction to family %d" fid) ];
+    for t = 1 to config.targets_per_family do
+      let tid = (fid * 100) + t in
+      insert "Target"
+        [
+          V.Int tid;
+          V.Str (Printf.sprintf "%s target %d" names.(fid - 1) t);
+          V.Str (if t mod 2 = 0 then "GPCR" else "Enzyme");
+        ];
+      insert "TargetFamily" [ V.Int tid; V.Int fid ]
+    done;
+    for r = 1 to config.references_per_family do
+      insert "Reference"
+        [
+          V.Int ((fid * 10) + r);
+          V.Int fid;
+          V.Str (Printf.sprintf "Study %d of family %d" r fid);
+          V.Int (1990 + Random.State.int rng 30);
+        ]
+    done
+  done;
+  for cid = 1 to config.contributors do
+    insert "Contributor"
+      [
+        V.Int cid;
+        V.Str (pick person_names);
+        V.Str (Printf.sprintf "University %d" (1 + (cid mod 12)));
+      ]
+  done;
+  !db

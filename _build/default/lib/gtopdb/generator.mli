@@ -1,0 +1,29 @@
+(** Seeded synthetic data for the GtoPdb-flavoured schema.
+
+    The generator reproduces the data characteristics the paper's
+    example depends on: families with duplicate names (so one result
+    tuple has several bindings, like the two 'Calcitonin' families),
+    per-family committees of varying size, and intro texts for a subset
+    of families.  Everything is driven by an explicit seed, so tests and
+    benchmarks are reproducible. *)
+
+type config = {
+  families : int;
+  duplicate_name_ratio : float;
+      (** fraction of families whose name repeats an earlier family's *)
+  committee_min : int;
+  committee_max : int;  (** committee size drawn uniformly from the range *)
+  intro_ratio : float;  (** fraction of families with a FamilyIntro row *)
+  targets_per_family : int;
+  contributors : int;
+  references_per_family : int;
+}
+
+val default_config : config
+(** 100 families, 20% duplicate names, committees of 1–4, 80% intros,
+    2 targets per family, 50 contributors, 1 reference per family. *)
+
+val generate : ?config:config -> seed:int -> unit -> Dc_relational.Database.t
+
+val scale : config -> families:int -> config
+(** The same shape at a different family count (benchmark sweeps). *)

@@ -1,0 +1,58 @@
+module Cq = Dc_cq
+module C = Dc_citation
+module R = Dc_relational
+
+let gtopdb_blurb = "IUPHAR/BPS Guide to PHARMACOLOGY..."
+
+let parse = Cq.Parser.parse_query_exn
+
+let v1 =
+  C.Citation_view.make_exn
+    ~view:(parse "lambda FID. V1(FID,FName,Desc) :- Family(FID,FName,Desc)")
+    ~citations:[ parse "lambda FID. CV1(FID,PName) :- Committee(FID,PName)" ]
+    ()
+
+let v2 =
+  C.Citation_view.make_exn
+    ~view:(parse "V2(FID,FName,Desc) :- Family(FID,FName,Desc)")
+    ~citations:[ parse (Printf.sprintf "CV2(D) :- D=\"%s\"" gtopdb_blurb) ]
+    ()
+
+let v3 =
+  C.Citation_view.make_exn
+    ~view:(parse "V3(FID,Text) :- FamilyIntro(FID,Text)")
+    ~citations:[ parse (Printf.sprintf "CV3(D) :- D=\"%s\"" gtopdb_blurb) ]
+    ()
+
+let all = [ v1; v2; v3 ]
+
+let query_q =
+  parse "Q(FName) :- Family(FID,FName,Desc), FamilyIntro(FID,Text)"
+
+let example_database () =
+  let open R.Value in
+  let db = Schema_def.empty_database () in
+  let rows rel mk items db =
+    R.Database.insert_list db rel (List.map (fun r -> R.Tuple.make (mk r)) items)
+  in
+  db
+  |> rows "Family"
+       (fun (fid, name, desc) -> [ Int fid; Str name; Str desc ])
+       [
+         (11, "Calcitonin", "C1");
+         (12, "Calcitonin", "C2");
+         (21, "Dopamine receptors", "D1");
+         (22, "Histamine receptors", "H1");
+       ]
+  |> rows "Committee"
+       (fun (fid, pname) -> [ Int fid; Str pname ])
+       [
+         (11, "Debbie Hay");
+         (11, "David Poyner");
+         (12, "Walter Born");
+         (21, "Kim Neve");
+         (22, "Paul Chazot");
+       ]
+  |> rows "FamilyIntro"
+       (fun (fid, text) -> [ Int fid; Str text ])
+       [ (11, "1st"); (12, "2nd"); (21, "Dopamine intro") ]

@@ -1,0 +1,32 @@
+(** The citation views and example instance printed in the paper's §2.
+
+    {v
+      λ FID. V1(FID,FName,Desc) :- Family(FID,FName,Desc)
+      λ FID. CV1(FID,PName)     :- Committee(FID,PName)
+
+      V2(FID,FName,Desc) :- Family(FID,FName,Desc)
+      CV2(D)             :- D="IUPHAR/BPS Guide to PHARMACOLOGY..."
+
+      V3(FID,Text) :- FamilyIntro(FID,Text)
+      CV3(D)       :- D="IUPHAR/BPS Guide to PHARMACOLOGY..."
+    v}
+
+    and the query
+    [Q(FName) :- Family(FID,FName,Desc), FamilyIntro(FID,Text)]. *)
+
+val gtopdb_blurb : string
+(** The constant string cited by CV2 and CV3. *)
+
+val v1 : Dc_citation.Citation_view.t
+val v2 : Dc_citation.Citation_view.t
+val v3 : Dc_citation.Citation_view.t
+val all : Dc_citation.Citation_view.t list
+
+val query_q : Dc_cq.Query.t
+(** The paper's query Q. *)
+
+val example_database : unit -> Dc_relational.Database.t
+(** The instance behind the worked example: two families named
+    'Calcitonin' (FIDs 11 and 12, descriptions C1/C2, intros 1st/2nd)
+    with committee members, plus a couple of unrelated families so the
+    example database is not degenerate. *)

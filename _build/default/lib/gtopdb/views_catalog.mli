@@ -1,0 +1,21 @@
+(** A richer catalogue of citation views over the GtoPdb schema, beyond
+    the three the paper prints.  Used by the coverage and rewriting
+    benchmarks, which sweep over view-set size. *)
+
+val v_committee : Dc_citation.Citation_view.t
+(** [λFID. VCommittee(FID,PName) :- Committee(FID,PName)], whose
+    citation query pulls the family name; exposed on its own because
+    experiment E2 needs a Committee view alongside the synthetic mix. *)
+
+val all : Dc_citation.Citation_view.t list
+(** The paper's V1, V2, V3 plus views over targets, references and the
+    committee relation itself. *)
+
+val take : int -> Dc_citation.Citation_view.t list
+(** A prefix of [all] (clamped), for view-count sweeps. *)
+
+val synthetic : count:int -> Dc_citation.Citation_view.t list
+(** [count] distinct single-atom views over [Family], each with its own
+    name ([SynV0], [SynV1], …) and alternating parameterization — many
+    redundant ways to answer the same query, which is exactly what blows
+    the rewriting search space up (experiment E2). *)

@@ -1,0 +1,43 @@
+module Cq = Dc_cq
+
+let parse = Cq.Parser.parse_query_exn
+
+let templates =
+  [
+    parse "T0(FID,FName,Desc) :- Family(FID,FName,Desc)";
+    parse "T1(FID,Text) :- FamilyIntro(FID,Text)";
+    parse "T2(FName,Text) :- Family(FID,FName,Desc), FamilyIntro(FID,Text)";
+    parse "T3(FName,PName) :- Family(FID,FName,Desc), Committee(FID,PName)";
+    parse
+      "T4(FName,TName) :- Family(FID,FName,Desc), TargetFamily(TID,FID), \
+       Target(TID,TName,TType)";
+    parse
+      "T5(FName,Title) :- Family(FID,FName,Desc), Reference(RID,FID,Title,Year)";
+    parse
+      "T6(PName,Text) :- Committee(FID,PName), FamilyIntro(FID,Text)";
+    parse
+      "T7(FName,PName,Text) :- Family(FID,FName,Desc), Committee(FID,PName), \
+       FamilyIntro(FID,Text)";
+    parse "T8(TID,TName) :- Target(TID,TName,TType)";
+    parse
+      "T9(TName,Text) :- Target(TID,TName,TType), TargetFamily(TID,FID), \
+       FamilyIntro(FID,Text)";
+  ]
+
+let generate ~seed ~count =
+  let rng = Random.State.make [| seed |] in
+  List.init count (fun i ->
+      let template = List.nth templates (Random.State.int rng (List.length templates)) in
+      (* Re-project: keep a random non-empty subset of the template's
+         head variables (body unchanged). *)
+      let head_vars = Cq.Query.head_vars template in
+      let kept =
+        List.filter (fun _ -> Random.State.bool rng) head_vars
+      in
+      let kept = if kept = [] then [ List.hd head_vars ] else kept in
+      let head = List.map (fun v -> Cq.Term.Var v) kept in
+      Cq.Query.make_exn
+        ~name:(Printf.sprintf "W%d" i)
+        ~head
+        ~body:(Cq.Query.body template)
+        ())

@@ -1,0 +1,11 @@
+(** Random conjunctive-query workloads over the GtoPdb schema, for the
+    coverage analysis (E9) and rewriting benchmarks.
+
+    Queries are drawn from join templates that follow the schema's
+    foreign keys, so every generated query is satisfiable on generated
+    data; the projection (head) is a random subset of the variables. *)
+
+val generate : seed:int -> count:int -> Dc_cq.Query.t list
+
+val templates : Dc_cq.Query.t list
+(** The fixed pool of join shapes the generator projects from. *)

@@ -1,0 +1,1 @@
+lib/provenance/annotated.ml: Dc_cq Dc_relational List Map Option Polynomial Printf Semiring String

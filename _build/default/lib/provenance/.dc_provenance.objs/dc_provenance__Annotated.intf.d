@@ -1,0 +1,1 @@
+lib/provenance/annotated.mli: Dc_cq Dc_relational Polynomial Semiring

@@ -1,0 +1,1 @@
+lib/provenance/polynomial.ml: Format Int List Map Semiring String

@@ -1,0 +1,1 @@
+lib/provenance/polynomial.mli: Format Semiring

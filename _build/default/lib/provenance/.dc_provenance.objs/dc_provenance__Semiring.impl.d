@@ -1,0 +1,1 @@
+lib/provenance/semiring.ml: Bool Format Int List Option Set String

@@ -1,0 +1,114 @@
+(* A polynomial is kept in normal form: a map from monomials to
+   non-zero coefficients, a monomial being a map from variable names to
+   positive exponents. *)
+
+module Smap = Map.Make (String)
+
+module Monomial = struct
+  type t = int Smap.t (* variable -> exponent >= 1 *)
+
+  let compare = Smap.compare Int.compare
+  let one = Smap.empty
+  let var v = Smap.singleton v 1
+
+  let times a b =
+    Smap.union (fun _ ea eb -> Some (ea + eb)) a b
+
+  let degree m = Smap.fold (fun _ e acc -> acc + e) m 0
+  let to_list m = Smap.bindings m
+end
+
+module Mmap = Map.Make (Monomial)
+
+type t = int Mmap.t (* monomial -> coefficient, coefficients <> 0 *)
+
+let zero = Mmap.empty
+let one = Mmap.singleton Monomial.one 1
+let var v = Mmap.singleton (Monomial.var v) 1
+let of_int n = if n = 0 then zero else Mmap.singleton Monomial.one n
+
+let add_term p m c =
+  if c = 0 then p
+  else
+    Mmap.update m
+      (function
+        | None -> Some c
+        | Some c' -> if c + c' = 0 then None else Some (c + c'))
+      p
+
+let plus a b = Mmap.fold (fun m c acc -> add_term acc m c) b a
+
+let times a b =
+  Mmap.fold
+    (fun ma ca acc ->
+      Mmap.fold
+        (fun mb cb acc -> add_term acc (Monomial.times ma mb) (ca * cb))
+        b acc)
+    a zero
+
+let monomials p =
+  Mmap.bindings p |> List.map (fun (m, c) -> (c, Monomial.to_list m))
+
+let equal = Mmap.equal Int.equal
+
+let degree p =
+  Mmap.fold (fun m _ acc -> max acc (Monomial.degree m)) p 0
+
+let variables p =
+  Mmap.fold
+    (fun m _ acc ->
+      List.fold_left
+        (fun acc (v, _) -> if List.mem v acc then acc else v :: acc)
+        acc (Monomial.to_list m))
+    p []
+  |> List.sort String.compare
+
+let eval (type k) (module K : Semiring.S with type t = k) valuation p : k =
+  let rec pow base = function
+    | 0 -> K.one
+    | n -> K.times base (pow base (n - 1))
+  in
+  Mmap.fold
+    (fun m c acc ->
+      let rec coeff = function 0 -> K.zero | n -> K.plus K.one (coeff (n - 1)) in
+      let term =
+        Smap.fold
+          (fun v e acc -> K.times acc (pow (valuation v) e))
+          m (coeff c)
+      in
+      K.plus acc term)
+    p K.zero
+
+let pp ppf p =
+  if Mmap.is_empty p then Format.pp_print_string ppf "0"
+  else
+    let pp_mono ppf (m, c) =
+      let vars = Monomial.to_list m in
+      if vars = [] then Format.pp_print_int ppf c
+      else begin
+        if c <> 1 then Format.fprintf ppf "%d·" c;
+        Format.pp_print_list
+          ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "·")
+          (fun ppf (v, e) ->
+            if e = 1 then Format.pp_print_string ppf v
+            else Format.fprintf ppf "%s^%d" v e)
+          ppf vars
+      end
+    in
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.fprintf ppf " + ")
+      pp_mono ppf (Mmap.bindings p)
+
+let to_string p = Format.asprintf "%a" pp p
+
+module Free = struct
+  type nonrec t = t
+
+  let zero = zero
+  let one = one
+  let plus = plus
+  let times = times
+  let equal = equal
+  let pp = pp
+  let name = "polynomial"
+end

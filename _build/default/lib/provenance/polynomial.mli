@@ -1,0 +1,40 @@
+(** Provenance polynomials ℕ[X]: the free commutative semiring over a
+    set of indeterminates (tuple identifiers).
+
+    ℕ[X] is universal: any valuation of the indeterminates into a
+    semiring K extends uniquely to a homomorphism ℕ[X] → K
+    ({!eval}).  Annotated evaluation in ℕ[X] therefore subsumes every
+    other provenance computation — and the paper's citation expressions
+    are an instance with CV(p̄) tokens as indeterminates. *)
+
+type t
+
+val zero : t
+val one : t
+val var : string -> t
+val of_int : int -> t
+val plus : t -> t -> t
+val times : t -> t -> t
+
+val monomials : t -> (int * (string * int) list) list
+(** Normal form: list of (coefficient, variable-with-exponent list),
+    variables sorted, monomials sorted; empty for [zero]. *)
+
+val equal : t -> t -> bool
+
+val degree : t -> int
+(** Total degree; 0 for constants and [zero]. *)
+
+val variables : t -> string list
+(** Distinct indeterminates, sorted. *)
+
+val eval :
+  (module Semiring.S with type t = 'k) -> (string -> 'k) -> t -> 'k
+(** [eval (module K) valuation p] is the image of [p] under the unique
+    homomorphism extending [valuation]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** ℕ[X] packaged as a {!Semiring.S}. *)
+module Free : Semiring.S with type t = t

@@ -1,0 +1,137 @@
+module type S = sig
+  type t
+
+  val zero : t
+  val one : t
+  val plus : t -> t -> t
+  val times : t -> t -> t
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+  val name : string
+end
+
+module String_set = Set.Make (String)
+
+module Witness_sets = struct
+  module Wset = Set.Make (String_set)
+
+  type t = Wset.t
+
+  let zero = Wset.empty
+  let one = Wset.singleton String_set.empty
+
+  let of_list l =
+    Wset.of_list (List.map String_set.of_list l)
+
+  let to_list w =
+    List.map String_set.elements (Wset.elements w)
+
+  let union = Wset.union
+
+  let pairwise_union a b =
+    Wset.fold
+      (fun wa acc ->
+        Wset.fold
+          (fun wb acc -> Wset.add (String_set.union wa wb) acc)
+          b acc)
+      a Wset.empty
+
+  let equal = Wset.equal
+
+  let pp ppf w =
+    let pp_witness ppf s =
+      Format.fprintf ppf "{%s}" (String.concat "," (String_set.elements s))
+    in
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+         pp_witness)
+      (Wset.elements w)
+end
+
+module Boolean = struct
+  type t = bool
+
+  let zero = false
+  let one = true
+  let plus = ( || )
+  let times = ( && )
+  let equal = Bool.equal
+  let pp = Format.pp_print_bool
+  let name = "boolean"
+end
+
+module Counting = struct
+  type t = int
+
+  let zero = 0
+  let one = 1
+  let plus = ( + )
+  let times = ( * )
+  let equal = Int.equal
+  let pp = Format.pp_print_int
+  let name = "counting"
+end
+
+module Tropical = struct
+  type t = int option
+
+  let zero = None
+  let one = Some 0
+
+  let plus a b =
+    match (a, b) with
+    | None, x | x, None -> x
+    | Some a, Some b -> Some (min a b)
+
+  let times a b =
+    match (a, b) with None, _ | _, None -> None | Some a, Some b -> Some (a + b)
+
+  let equal = Option.equal Int.equal
+
+  let pp ppf = function
+    | None -> Format.pp_print_string ppf "∞"
+    | Some c -> Format.pp_print_int ppf c
+
+  let name = "tropical"
+end
+
+module Lineage = struct
+  type t = String_set.t option
+
+  let zero = None
+  let one = Some String_set.empty
+
+  let merge a b =
+    match (a, b) with
+    | None, x | x, None -> x
+    | Some a, Some b -> Some (String_set.union a b)
+
+  let plus = merge
+
+  let times a b =
+    match (a, b) with
+    | None, _ | _, None -> None
+    | Some a, Some b -> Some (String_set.union a b)
+
+  let equal = Option.equal String_set.equal
+
+  let pp ppf = function
+    | None -> Format.pp_print_string ppf "⊥"
+    | Some s ->
+        Format.fprintf ppf "{%s}" (String.concat "," (String_set.elements s))
+
+  let name = "lineage"
+end
+
+module Why = struct
+  type t = Witness_sets.t
+
+  let zero = Witness_sets.zero
+  let one = Witness_sets.one
+  let plus = Witness_sets.union
+  let times = Witness_sets.pairwise_union
+  let equal = Witness_sets.equal
+  let pp = Witness_sets.pp
+  let name = "why"
+end

@@ -1,0 +1,58 @@
+(** Commutative semirings for annotation propagation (Green et al.,
+    "Provenance semirings", PODS 2007 — the paper's reference [8]).
+
+    The citation model interprets joint use of citations as [times] and
+    alternative use as [plus]; instantiating the same annotated
+    evaluation with different semirings yields boolean lineage, counting,
+    cost, why-provenance, or full provenance polynomials. *)
+
+module type S = sig
+  type t
+
+  val zero : t
+  (** Annotation of absent tuples; [plus]-neutral, [times]-absorbing. *)
+
+  val one : t
+  (** Annotation of unconditionally present tuples; [times]-neutral. *)
+
+  val plus : t -> t -> t
+  val times : t -> t -> t
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+  val name : string
+end
+
+(** Sets of tuple identifiers, used by the lineage and why instances. *)
+module String_set : Set.S with type elt = string
+
+(** Sets of witnesses, each witness a set of tuple ids. *)
+module Witness_sets : sig
+  type t
+
+  val zero : t
+  val one : t
+  val of_list : string list list -> t
+  val to_list : t -> string list list
+  val union : t -> t -> t
+  val pairwise_union : t -> t -> t
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+module Boolean : S with type t = bool
+(** Set semantics: ([false],[true],∨,∧). *)
+
+module Counting : S with type t = int
+(** Bag semantics: (0,1,+,×) over ℕ. *)
+
+module Tropical : S with type t = int option
+(** Cost semantics: (∞,0,min,+); [None] is ∞.  Used by the min-size
+    citation policy. *)
+
+module Lineage : S with type t = String_set.t option
+(** Which-provenance: sets of contributing tuple ids; [None] is the zero
+    (absent), [Some ∅] the one.  [plus] and [times] are both union. *)
+
+module Why : S with type t = Witness_sets.t
+(** Why-provenance: sets of witnesses.  [plus] is union of witness sets,
+    [times] pairwise union of witnesses. *)

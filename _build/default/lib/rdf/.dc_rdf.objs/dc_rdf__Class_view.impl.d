@@ -1,0 +1,1 @@
+lib/rdf/class_view.ml: Dc_citation Dc_cq Dc_relational Graph List Ontology Printf String Triple

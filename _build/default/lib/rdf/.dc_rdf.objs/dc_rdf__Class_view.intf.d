@@ -1,0 +1,1 @@
+lib/rdf/class_view.mli: Dc_citation Dc_relational Graph Ontology

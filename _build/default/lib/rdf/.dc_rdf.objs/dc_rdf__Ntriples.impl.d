@@ -1,0 +1,1 @@
+lib/rdf/ntriples.ml: Buffer Dc_relational Graph List Printf Result String Triple

@@ -1,0 +1,1 @@
+lib/rdf/ontology.ml: Graph List Map Set String Triple

@@ -1,0 +1,1 @@
+lib/rdf/ontology.mli: Graph

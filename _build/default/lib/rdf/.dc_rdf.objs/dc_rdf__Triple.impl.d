@@ -1,0 +1,1 @@
+lib/rdf/triple.ml: Dc_relational Format String

@@ -1,0 +1,103 @@
+module R = Dc_relational
+module Cq = Dc_cq
+module C = Dc_citation
+
+let triple_relation =
+  R.Schema.make "Triple"
+    [
+      R.Schema.attr ~ty:R.Value.TStr "S";
+      R.Schema.attr ~ty:R.Value.TStr "P";
+      R.Schema.attr ~ty:R.Value.TAny "O";
+    ]
+
+let sanitize s =
+  String.map
+    (fun c ->
+      if
+        (c >= 'a' && c <= 'z')
+        || (c >= 'A' && c <= 'Z')
+        || (c >= '0' && c <= '9')
+      then c
+      else '_')
+    s
+
+let class_relation_name cls = "Class_" ^ sanitize cls
+
+let class_relation cls =
+  R.Schema.make (class_relation_name cls) [ R.Schema.attr ~ty:R.Value.TStr "S" ]
+
+let encode ontology graph =
+  let db = R.Database.create_relation R.Database.empty triple_relation in
+  let db =
+    Graph.fold
+      (fun (t : Triple.t) db ->
+        R.Database.insert db "Triple"
+          (R.Tuple.make
+             [ R.Value.Str t.subj; R.Value.Str t.pred; Triple.obj_to_value t.obj ]))
+      graph db
+  in
+  let typed = Ontology.infer_types ontology graph in
+  let all_classes =
+    List.sort_uniq String.compare
+      (Ontology.classes ontology @ List.concat_map snd typed)
+  in
+  let db =
+    List.fold_left
+      (fun db cls -> R.Database.create_relation db (class_relation cls))
+      db all_classes
+  in
+  List.fold_left
+    (fun db (subj, classes) ->
+      List.fold_left
+        (fun db cls ->
+          R.Database.insert db (class_relation_name cls)
+            (R.Tuple.make [ R.Value.Str subj ]))
+        db classes)
+    db typed
+
+let class_citation_view ~cls ~blurb =
+  let crel = class_relation_name cls in
+  let vname = "V_" ^ sanitize cls in
+  let view =
+    Cq.Parser.parse_query_exn
+      (Printf.sprintf "lambda S. %s(S,P,O) :- %s(S), Triple(S,P,O)" vname crel)
+  in
+  let citations =
+    [
+      Cq.Parser.parse_query_exn
+        (Printf.sprintf "lambda S. C%s(S,P,O) :- Triple(S,P,O)" vname);
+      Cq.Parser.parse_query_exn
+        (Printf.sprintf "C%s_src(D) :- D=\"%s\"" vname blurb);
+    ]
+  in
+  C.Citation_view.make_exn ~view ~citations ()
+
+let cite_resource ontology graph ~views ~subject =
+  let db = encode ontology graph in
+  let engine = C.Engine.create ~selection:`All db views in
+  let view_names =
+    List.map C.Citation_view.name views
+  in
+  let chosen_class =
+    List.find_opt
+      (fun cls -> List.mem ("V_" ^ sanitize cls) view_names)
+      (Ontology.subject_classes ontology graph subject)
+  in
+  let triple_atom =
+    Cq.Atom.make "Triple"
+      [ Cq.Term.str subject; Cq.Term.Var "P"; Cq.Term.Var "O" ]
+  in
+  let body =
+    match chosen_class with
+    | None -> [ triple_atom ]
+    | Some cls ->
+        [ Cq.Atom.make (class_relation_name cls) [ Cq.Term.str subject ];
+          triple_atom ]
+  in
+  let query =
+    Cq.Query.make_exn
+      ~name:("QRes_" ^ sanitize subject)
+      ~head:[ Cq.Term.Var "P"; Cq.Term.Var "O" ]
+      ~body ()
+  in
+  (C.Engine.cite engine query, chosen_class)

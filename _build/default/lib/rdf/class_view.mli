@@ -1,0 +1,40 @@
+(** Class-conditional citation views over RDF graphs (the eagle-i
+    pattern).
+
+    The graph is encoded relationally — a ternary [Triple(S,P,O)]
+    relation plus one unary [Class_<C>(S)] relation per ontology class,
+    populated by {!Ontology.infer_types} — so the relational citation
+    engine is reused unchanged: a class-conditional view is simply a CQ
+    joining [Triple] with [Class_<C>]. *)
+
+val triple_relation : Dc_relational.Schema.t
+val class_relation_name : string -> string
+(** ["Class_CellLine"] for class ["CellLine"] (IRIs sanitized). *)
+
+val encode :
+  Ontology.t -> Graph.t -> Dc_relational.Database.t
+(** The relational encoding; inference runs here. *)
+
+val class_citation_view :
+  cls:string ->
+  blurb:string ->
+  Dc_citation.Citation_view.t
+(** The citation view
+    [λS. V_<C>(S,P,O) :- Class_<C>(S), Triple(S,P,O)] whose citation
+    query pulls every triple of the subject plus the fixed dataset
+    blurb. *)
+
+val cite_resource :
+  Ontology.t ->
+  Graph.t ->
+  views:Dc_citation.Citation_view.t list ->
+  subject:string ->
+  Dc_citation.Engine.result * string option
+(** Cites the resource: infers the subject's classes over the ontology,
+    picks the first inferred class that has a registered class view
+    (returned as the second component), and cites the class-restricted
+    query [Q(P,O) :- Class_<C>(s), Triple(s,P,O)] — the ontology
+    reasoning thus determines which citation view applies, exactly the
+    behaviour the paper attributes to RDF systems like eagle-i.  With no
+    matching class the plain triple query is cited (and carries no
+    citation). *)

@@ -1,0 +1,65 @@
+module Tset = Set.Make (Triple)
+module Smap = Map.Make (String)
+
+type t = {
+  all : Tset.t;
+  by_pred : Tset.t Smap.t;
+  by_subj : Tset.t Smap.t;
+}
+
+let empty = { all = Tset.empty; by_pred = Smap.empty; by_subj = Smap.empty }
+
+let add_index m k t =
+  Smap.update k
+    (function
+      | None -> Some (Tset.singleton t)
+      | Some s -> Some (Tset.add t s))
+    m
+
+let add g t =
+  if Tset.mem t g.all then g
+  else
+    {
+      all = Tset.add t g.all;
+      by_pred = add_index g.by_pred t.Triple.pred t;
+      by_subj = add_index g.by_subj t.Triple.subj t;
+    }
+
+let add_list g ts = List.fold_left add g ts
+let of_list ts = add_list empty ts
+let mem g t = Tset.mem t g.all
+let size g = Tset.cardinal g.all
+let triples g = Tset.elements g.all
+let fold f g init = Tset.fold f g.all init
+
+let with_pred g p =
+  match Smap.find_opt p g.by_pred with
+  | None -> []
+  | Some s -> Tset.elements s
+
+let with_subj g s =
+  match Smap.find_opt s g.by_subj with
+  | None -> []
+  | Some set -> Tset.elements set
+
+let objects g ~subj ~pred =
+  List.filter_map
+    (fun (t : Triple.t) ->
+      if String.equal t.pred pred then Some t.obj else None)
+    (with_subj g subj)
+
+let subjects g ~pred ~obj =
+  List.filter_map
+    (fun (t : Triple.t) ->
+      if Triple.equal_obj t.obj obj then Some t.subj else None)
+    (with_pred g pred)
+
+let types_of g subj =
+  List.filter_map
+    (function Triple.Iri c -> Some c | Triple.Lit _ -> None)
+    (objects g ~subj ~pred:Triple.rdf_type)
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut Triple.pp)
+    (triples g)

@@ -1,0 +1,23 @@
+(** In-memory RDF graphs. *)
+
+type t
+
+val empty : t
+val add : t -> Triple.t -> t
+val add_list : t -> Triple.t list -> t
+val of_list : Triple.t list -> t
+val mem : t -> Triple.t -> bool
+val size : t -> int
+val triples : t -> Triple.t list
+val fold : (Triple.t -> 'a -> 'a) -> t -> 'a -> 'a
+
+val with_pred : t -> string -> Triple.t list
+val with_subj : t -> string -> Triple.t list
+
+val objects : t -> subj:string -> pred:string -> Triple.obj list
+val subjects : t -> pred:string -> obj:Triple.obj -> string list
+
+val types_of : t -> string -> string list
+(** Asserted (not inferred) [rdf:type] classes of a subject. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,123 @@
+module Value = Dc_relational.Value
+
+let is_space c = c = ' ' || c = '\t'
+
+(* Tokenize one line into <iri>, "literal", bare tokens and '.' *)
+let tokens line =
+  let n = String.length line in
+  let toks = ref [] in
+  let rec go i =
+    if i >= n then Ok ()
+    else if is_space line.[i] then go (i + 1)
+    else
+      match line.[i] with
+      | '<' -> (
+          match String.index_from_opt line i '>' with
+          | None -> Error "unterminated IRI"
+          | Some j ->
+              toks := `Iri (String.sub line (i + 1) (j - i - 1)) :: !toks;
+              go (j + 1))
+      | '"' ->
+          let buf = Buffer.create 16 in
+          let rec scan j =
+            if j >= n then Error "unterminated literal"
+            else if line.[j] = '\\' && j + 1 < n then begin
+              Buffer.add_char buf line.[j + 1];
+              scan (j + 2)
+            end
+            else if line.[j] = '"' then begin
+              toks := `Lit (Buffer.contents buf) :: !toks;
+              go (j + 1)
+            end
+            else begin
+              Buffer.add_char buf line.[j];
+              scan (j + 1)
+            end
+          in
+          scan (i + 1)
+      | '.' ->
+          toks := `Dot :: !toks;
+          go (i + 1)
+      | _ ->
+          let j = ref i in
+          while
+            !j < n && (not (is_space line.[!j])) && line.[!j] <> '.'
+          do
+            incr j
+          done;
+          toks := `Bare (String.sub line i (!j - i)) :: !toks;
+          go !j
+  in
+  Result.map (fun () -> List.rev !toks) (go 0)
+
+let parse_line line =
+  let trimmed = String.trim line in
+  if trimmed = "" || trimmed.[0] = '#' then Ok None
+  else
+    match tokens trimmed with
+    | Error e -> Error e
+    | Ok toks -> (
+        match toks with
+        | [ s; p; o; `Dot ] -> (
+            let iri = function
+              | `Iri x | `Bare x -> Some x
+              | `Lit _ | `Dot -> None
+            in
+            match (iri s, iri p) with
+            | Some subj, Some pred -> (
+                match o with
+                | `Iri x -> Ok (Some (Triple.make subj pred (Triple.iri x)))
+                | `Lit x -> Ok (Some (Triple.make subj pred (Triple.lit_str x)))
+                | `Bare x -> (
+                    match int_of_string_opt x with
+                    | Some i -> Ok (Some (Triple.make subj pred (Triple.lit_int i)))
+                    | None -> Ok (Some (Triple.make subj pred (Triple.iri x))))
+                | `Dot -> Error "object expected before '.'")
+            | _ -> Error "subject and predicate must be IRIs")
+        | _ -> Error "expected: <s> <p> <o> .")
+
+let parse src =
+  let lines = String.split_on_char '\n' src in
+  let rec go lineno graph = function
+    | [] -> Ok graph
+    | line :: rest -> (
+        match parse_line line with
+        | Ok None -> go (lineno + 1) graph rest
+        | Ok (Some t) -> go (lineno + 1) (Graph.add graph t) rest
+        | Error e -> Error (Printf.sprintf "line %d: %s" lineno e))
+  in
+  go 1 Graph.empty lines
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_obj = function
+  | Triple.Iri x -> Printf.sprintf "<%s>" x
+  | Triple.Lit (Value.Int i) -> string_of_int i
+  | Triple.Lit v -> Printf.sprintf "\"%s\"" (escape (Value.to_string v))
+
+let render_triple (t : Triple.t) =
+  Printf.sprintf "<%s> <%s> %s ." t.subj t.pred (render_obj t.obj)
+
+let render graph =
+  String.concat "\n" (List.map render_triple (Graph.triples graph)) ^ "\n"
+
+let load path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  parse contents
+
+let save graph path =
+  let oc = open_out path in
+  output_string oc (render graph);
+  close_out oc

@@ -1,0 +1,27 @@
+(** A reader/writer for an N-Triples-like line format.
+
+    Supported line shapes (whitespace-separated, trailing [.] required,
+    [#] comments and blank lines skipped):
+    {v
+      <subject> <predicate> <object> .
+      <subject> <predicate> "string literal" .
+      <subject> <predicate> 42 .
+    v}
+    Angle brackets delimit IRIs; this reader intentionally keeps IRIs
+    opaque (no namespace resolution).  Integer objects parse to integer
+    literals; quoted objects support backslash-escaped quotes and
+    backslashes. *)
+
+val parse_line : string -> (Triple.t option, string) result
+(** [Ok None] for blank/comment lines. *)
+
+val parse : string -> (Graph.t, string) result
+(** Errors carry a 1-based line number. *)
+
+val render_triple : Triple.t -> string
+val render : Graph.t -> string
+
+val load : string -> (Graph.t, string) result
+(** From a file path. *)
+
+val save : Graph.t -> string -> unit

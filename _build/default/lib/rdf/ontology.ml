@@ -1,0 +1,109 @@
+module Smap = Map.Make (String)
+module Sset = Set.Make (String)
+
+type t = {
+  subclass : Sset.t Smap.t;  (* class -> direct superclasses *)
+  subprop : Sset.t Smap.t;
+  domain : Sset.t Smap.t;  (* property -> domain classes *)
+  range : Sset.t Smap.t;
+}
+
+let empty =
+  {
+    subclass = Smap.empty;
+    subprop = Smap.empty;
+    domain = Smap.empty;
+    range = Smap.empty;
+  }
+
+let add_edge m a b =
+  Smap.update a
+    (function
+      | None -> Some (Sset.singleton b) | Some s -> Some (Sset.add b s))
+    m
+
+let add_subclass o ~sub ~super = { o with subclass = add_edge o.subclass sub super }
+let add_subproperty o ~sub ~super = { o with subprop = add_edge o.subprop sub super }
+let add_domain o ~prop ~cls = { o with domain = add_edge o.domain prop cls }
+let add_range o ~prop ~cls = { o with range = add_edge o.range prop cls }
+
+let closure edges start =
+  let rec go seen frontier =
+    match frontier with
+    | [] -> seen
+    | x :: rest ->
+        let nexts =
+          match Smap.find_opt x edges with
+          | None -> Sset.empty
+          | Some s -> Sset.diff s seen
+        in
+        go (Sset.union seen nexts) (Sset.elements nexts @ rest)
+  in
+  Sset.elements (go (Sset.singleton start) [ start ])
+
+let superclasses o c = closure o.subclass c
+let superproperties o p = closure o.subprop p
+
+let classes o =
+  let acc =
+    Smap.fold
+      (fun c supers acc -> Sset.union (Sset.add c supers) acc)
+      o.subclass Sset.empty
+  in
+  let acc = Smap.fold (fun _ cs acc -> Sset.union cs acc) o.domain acc in
+  let acc = Smap.fold (fun _ cs acc -> Sset.union cs acc) o.range acc in
+  Sset.elements acc
+
+let depth o =
+  let rec chain c =
+    match Smap.find_opt c o.subclass with
+    | None -> 1
+    | Some supers ->
+        1 + Sset.fold (fun s acc -> max acc (chain s)) supers 0
+  in
+  List.fold_left (fun acc c -> max acc (chain c)) 0 (classes o)
+
+let direct_classes o g subj =
+  let asserted = Graph.types_of g subj in
+  let via_domain =
+    List.concat_map
+      (fun (t : Triple.t) ->
+        if String.equal t.pred Triple.rdf_type then []
+        else
+          List.concat_map
+            (fun p ->
+              match Smap.find_opt p o.domain with
+              | None -> []
+              | Some cs -> Sset.elements cs)
+            (superproperties o t.pred))
+      (Graph.with_subj g subj)
+  in
+  let via_range =
+    List.concat_map
+      (fun (t : Triple.t) ->
+        match t.obj with
+        | Triple.Iri s when String.equal s subj ->
+            List.concat_map
+              (fun p ->
+                match Smap.find_opt p o.range with
+                | None -> []
+                | Some cs -> Sset.elements cs)
+              (superproperties o t.pred)
+        | _ -> [])
+      (Graph.triples g)
+  in
+  List.sort_uniq String.compare (asserted @ via_domain @ via_range)
+
+let subject_classes o g subj =
+  List.concat_map (superclasses o) (direct_classes o g subj)
+  |> List.sort_uniq String.compare
+
+let infer_types o g =
+  let subjects =
+    Graph.fold
+      (fun (t : Triple.t) acc -> Sset.add t.subj acc)
+      g Sset.empty
+  in
+  List.map
+    (fun s -> (s, subject_classes o g s))
+    (Sset.elements subjects)

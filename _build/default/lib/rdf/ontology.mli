@@ -1,0 +1,34 @@
+(** RDFS-style ontologies and type inference.
+
+    The paper's "Other models" discussion notes that for RDF systems
+    (eagle-i) "the citation depends on the class of resource and
+    determining the class of the resource involves reasoning over an
+    ontology".  This module provides exactly that reasoning: subclass
+    and subproperty hierarchies with transitive closure, plus domain and
+    range axioms, so the inferred classes of every subject can feed the
+    class-conditional citation views of {!Class_view}. *)
+
+type t
+
+val empty : t
+val add_subclass : t -> sub:string -> super:string -> t
+val add_subproperty : t -> sub:string -> super:string -> t
+val add_domain : t -> prop:string -> cls:string -> t
+val add_range : t -> prop:string -> cls:string -> t
+
+val superclasses : t -> string -> string list
+(** Reflexive-transitive closure. *)
+
+val superproperties : t -> string -> string list
+val classes : t -> string list
+val depth : t -> int
+(** Length of the longest subclass chain. *)
+
+val infer_types : t -> Graph.t -> (string * string list) list
+(** For every subject of the graph: its inferred classes, i.e. the
+    closure of (a) asserted [rdf:type] triples, (b) domains of
+    properties the subject uses and ranges of properties it is the
+    object of — each closed under subproperty first — and (c) subclass
+    closure of all of those. *)
+
+val subject_classes : t -> Graph.t -> string -> string list

@@ -1,0 +1,38 @@
+module Value = Dc_relational.Value
+
+type obj = Iri of string | Lit of Value.t
+
+type t = { subj : string; pred : string; obj : obj }
+
+let make subj pred obj = { subj; pred; obj }
+let iri s = Iri s
+let lit_str s = Lit (Value.Str s)
+let lit_int i = Lit (Value.Int i)
+let rdf_type = "rdf:type"
+
+let compare_obj a b =
+  match (a, b) with
+  | Iri x, Iri y -> String.compare x y
+  | Lit x, Lit y -> Value.compare x y
+  | Iri _, Lit _ -> -1
+  | Lit _, Iri _ -> 1
+
+let compare a b =
+  match String.compare a.subj b.subj with
+  | 0 -> (
+      match String.compare a.pred b.pred with
+      | 0 -> compare_obj a.obj b.obj
+      | c -> c)
+  | c -> c
+
+let equal a b = compare a b = 0
+let equal_obj a b = compare_obj a b = 0
+
+let pp_obj ppf = function
+  | Iri s -> Format.fprintf ppf "<%s>" s
+  | Lit v -> Value.pp ppf v
+
+let pp ppf t =
+  Format.fprintf ppf "<%s> <%s> %a." t.subj t.pred pp_obj t.obj
+
+let obj_to_value = function Iri s -> Value.Str s | Lit v -> v

@@ -1,0 +1,21 @@
+(** RDF triples with IRI or literal objects. *)
+
+type obj = Iri of string | Lit of Dc_relational.Value.t
+
+type t = { subj : string; pred : string; obj : obj }
+
+val make : string -> string -> obj -> t
+val iri : string -> obj
+val lit_str : string -> obj
+val lit_int : int -> obj
+
+val rdf_type : string
+(** The [rdf:type] predicate IRI (abbreviated ["rdf:type"]). *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val equal_obj : obj -> obj -> bool
+val pp : Format.formatter -> t -> unit
+val obj_to_value : obj -> Dc_relational.Value.t
+(** IRIs map to strings; literals to themselves (for the relational
+    encoding). *)

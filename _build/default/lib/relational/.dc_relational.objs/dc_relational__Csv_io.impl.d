@@ -1,0 +1,1 @@
+lib/relational/csv_io.ml: Buffer List Printf Relation Schema String Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/database.ml: Format List Map Option Printf Relation Schema String

@@ -1,0 +1,1 @@
+lib/relational/delta.ml: Database Format List Map Option Relation String Tuple

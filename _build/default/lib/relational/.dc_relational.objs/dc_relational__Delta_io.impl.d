@@ -1,0 +1,1 @@
+lib/relational/delta_io.ml: Buffer Csv_io Delta List Printf Result Schema String Tuple Value

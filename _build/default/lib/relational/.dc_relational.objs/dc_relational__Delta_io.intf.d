@@ -1,0 +1,1 @@
+lib/relational/delta_io.mli: Delta Schema

@@ -1,0 +1,1 @@
+lib/relational/stats.ml: Array Database Hashtbl Printf Relation Schema

@@ -1,0 +1,1 @@
+lib/relational/version_store.ml: Database Delta Format Int List Map Option

@@ -1,0 +1,1 @@
+lib/relational/version_store.mli: Database Delta Format

@@ -1,0 +1,180 @@
+let parse_line line =
+  let buf = Buffer.create 16 in
+  let fields = ref [] in
+  let n = String.length line in
+  let flush () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  (* [go] scans unquoted text; [quoted] scans inside double quotes. *)
+  let rec go i =
+    if i >= n then flush ()
+    else
+      match line.[i] with
+      | ',' ->
+          flush ();
+          go (i + 1)
+      | '"' when Buffer.length buf = 0 -> quoted (i + 1)
+      | c ->
+          Buffer.add_char buf c;
+          go (i + 1)
+  and quoted i =
+    if i >= n then failwith "Csv_io.parse_line: unterminated quote"
+    else
+      match line.[i] with
+      | '"' when i + 1 < n && line.[i + 1] = '"' ->
+          Buffer.add_char buf '"';
+          quoted (i + 2)
+      | '"' -> go (i + 1)
+      | c ->
+          Buffer.add_char buf c;
+          quoted (i + 1)
+  in
+  go 0;
+  List.rev !fields
+
+(* Whole-document record scanner: like [parse_line] but newlines only
+   terminate a record outside quotes, so quoted multiline fields
+   survive. *)
+let parse_records doc =
+  let n = String.length doc in
+  let records = ref [] in
+  let fields = ref [] in
+  let buf = Buffer.create 16 in
+  let field_started = ref false in
+  let flush_field () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf;
+    field_started := false
+  in
+  let flush_record () =
+    (* a record is empty when it has no separators and no content *)
+    if !fields <> [] || Buffer.length buf > 0 || !field_started then begin
+      flush_field ();
+      records := List.rev !fields :: !records;
+      fields := []
+    end
+  in
+  let rec go i =
+    if i >= n then flush_record ()
+    else
+      match doc.[i] with
+      | ',' ->
+          flush_field ();
+          field_started := true;
+          go (i + 1)
+      | '\n' ->
+          flush_record ();
+          go (i + 1)
+      | '\r' when i + 1 < n && doc.[i + 1] = '\n' ->
+          flush_record ();
+          go (i + 2)
+      | '"' when Buffer.length buf = 0 -> quoted (i + 1)
+      | c ->
+          Buffer.add_char buf c;
+          go (i + 1)
+  and quoted i =
+    if i >= n then failwith "Csv_io.parse_records: unterminated quote"
+    else
+      match doc.[i] with
+      | '"' when i + 1 < n && doc.[i + 1] = '"' ->
+          Buffer.add_char buf '"';
+          quoted (i + 2)
+      | '"' ->
+          field_started := true;
+          go (i + 1)
+      | c ->
+          Buffer.add_char buf c;
+          quoted (i + 1)
+  in
+  go 0;
+  (* drop records that are a single empty field (blank lines) *)
+  List.rev !records
+  |> List.filter (fun r -> r <> [ "" ] && r <> [])
+
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let render_field s =
+  if needs_quoting s then
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\""
+        else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  else s
+
+let render_line fields = String.concat "," (List.map render_field fields)
+
+let relation_of_string schema s =
+  let attrs = Schema.attributes schema in
+  let attr_names = List.map (fun (a : Schema.attribute) -> a.name) attrs in
+  match parse_records s with
+  | exception Failure e -> Error e
+  | records ->
+      let records =
+        match records with
+        | first :: rest when first = attr_names -> rest
+        | records -> records
+      in
+      let parse_row fields =
+        let describe () = String.concat "," fields in
+        if List.length fields <> List.length attrs then
+          Error
+            (Printf.sprintf "row %S: expected %d fields, got %d" (describe ())
+               (List.length attrs) (List.length fields))
+        else
+          let rec coerce acc attrs fields =
+            match (attrs, fields) with
+            | [], [] -> Ok (Tuple.make (List.rev acc))
+            | (a : Schema.attribute) :: attrs, f :: fields -> (
+                match Value.of_string a.ty f with
+                | Ok v -> coerce (v :: acc) attrs fields
+                | Error e -> Error (Printf.sprintf "row %S: %s" (describe ()) e))
+            | _ -> assert false
+          in
+          coerce [] attrs fields
+      in
+      let rec go rel = function
+        | [] -> Ok rel
+        | fields :: rest -> (
+            match parse_row fields with
+            | Ok t -> go (Relation.insert rel t) rest
+            | Error e -> Error e)
+      in
+      go (Relation.empty schema) records
+
+let relation_to_string ?(header = true) rel =
+  let schema = Relation.schema rel in
+  let buf = Buffer.create 1024 in
+  if header then begin
+    Buffer.add_string buf
+      (render_line
+         (List.map
+            (fun (a : Schema.attribute) -> a.name)
+            (Schema.attributes schema)));
+    Buffer.add_char buf '\n'
+  end;
+  Relation.iter
+    (fun t ->
+      Buffer.add_string buf
+        (render_line (List.map Value.to_string (Tuple.to_list t)));
+      Buffer.add_char buf '\n')
+    rel;
+  Buffer.contents buf
+
+let load_relation schema path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  relation_of_string schema contents
+
+let save_relation ?header rel path =
+  let oc = open_out path in
+  output_string oc (relation_to_string ?header rel);
+  close_out oc

@@ -1,0 +1,29 @@
+(** Minimal CSV reading and writing for relation extents.
+
+    Supports RFC-4180-style quoting: fields containing commas, quotes or
+    newlines are double-quoted, embedded quotes are doubled.  This is
+    enough for the example datasets and the CLI; it is not a general CSV
+    toolkit. *)
+
+val parse_line : string -> string list
+(** Splits one CSV record.  Raises [Failure] on an unterminated quote. *)
+
+val parse_records : string -> string list list
+(** Splits a whole document into records, respecting quoted fields that
+    span lines (so multiline values survive a save/load roundtrip).
+    Records that are entirely empty are dropped.
+    Raises [Failure] on an unterminated quote. *)
+
+val render_line : string list -> string
+
+val relation_of_string : Schema.t -> string -> (Relation.t, string) result
+(** [relation_of_string schema s] reads one tuple per non-empty line of
+    [s], coercing fields with {!Value.of_string} against the schema.
+    A leading header line matching the attribute names is skipped. *)
+
+val relation_to_string : ?header:bool -> Relation.t -> string
+
+val load_relation : Schema.t -> string -> (Relation.t, string) result
+(** Reads from a file path. *)
+
+val save_relation : ?header:bool -> Relation.t -> string -> unit

@@ -1,0 +1,34 @@
+(** Deltas: sets of insertions and deletions against a database.
+
+    Deltas are what the version store records between versions and what
+    the incremental citation maintainer consumes ("citation evolution",
+    paper section 3). *)
+
+type change = Insert of Tuple.t | Delete of Tuple.t
+
+type t
+(** A delta maps relation names to ordered change lists. *)
+
+val empty : t
+val is_empty : t -> bool
+val insert : t -> string -> Tuple.t -> t
+val delete : t -> string -> Tuple.t -> t
+val changes : t -> (string * change list) list
+val relations_touched : t -> string list
+val inserted : t -> string -> Tuple.t list
+val deleted : t -> string -> Tuple.t list
+val size : t -> int
+
+val apply : Database.t -> t -> Database.t
+(** Applies deletions then insertions, per relation.  Raises [Not_found]
+    when a touched relation is absent from the database. *)
+
+val between : Database.t -> Database.t -> t
+(** [between old new_] is the delta turning [old] into [new_]; relations
+    present in only one of the two contribute all their tuples. *)
+
+val union : t -> t -> t
+(** Concatenates change lists; the second argument's changes apply
+    after the first's. *)
+
+val pp : Format.formatter -> t -> unit

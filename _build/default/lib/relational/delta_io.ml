@@ -1,0 +1,81 @@
+let render delta =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (rel, changes) ->
+      List.iter
+        (fun change ->
+          let sign, tuple =
+            match change with
+            | Delta.Insert t -> ("+", t)
+            | Delta.Delete t -> ("-", t)
+          in
+          Buffer.add_string buf
+            (Csv_io.render_line
+               (sign :: rel :: List.map Value.to_string (Tuple.to_list tuple)));
+          Buffer.add_char buf '\n')
+        changes)
+    (Delta.changes delta);
+  Buffer.contents buf
+
+let parse ~schemas src =
+  let schema_of rel =
+    List.find_opt (fun s -> String.equal (Schema.name s) rel) schemas
+  in
+  let parse_record lineno fields delta =
+    match fields with
+    | sign :: rel :: fields -> (
+        match schema_of rel with
+        | None -> Error (Printf.sprintf "record %d: unknown relation %s" lineno rel)
+        | Some schema ->
+            let attrs = Schema.attributes schema in
+            if List.length fields <> List.length attrs then
+              Error
+                (Printf.sprintf "record %d: expected %d fields for %s, got %d"
+                   lineno (List.length attrs) rel (List.length fields))
+            else
+              let rec coerce acc attrs fields =
+                match (attrs, fields) with
+                | [], [] -> Ok (Tuple.make (List.rev acc))
+                | (a : Schema.attribute) :: attrs, f :: fields -> (
+                    match Value.of_string a.ty f with
+                    | Ok v -> coerce (v :: acc) attrs fields
+                    | Error e -> Error (Printf.sprintf "record %d: %s" lineno e))
+                | _ -> assert false
+              in
+              Result.bind (coerce [] attrs fields) (fun tuple ->
+                  match sign with
+                  | "+" -> Ok (Delta.insert delta rel tuple)
+                  | "-" -> Ok (Delta.delete delta rel tuple)
+                  | s -> Error (Printf.sprintf "record %d: bad sign %S" lineno s)))
+    | _ -> Error (Printf.sprintf "record %d: expected sign,relation,fields" lineno)
+  in
+  match Csv_io.parse_records src with
+  | exception Failure e -> Error e
+  | records ->
+      let records =
+        List.filter
+          (fun r ->
+            match r with
+            | first :: _ -> String.length first = 0 || first.[0] <> '#'
+            | [] -> false)
+          records
+      in
+      let rec go recno delta = function
+        | [] -> Ok delta
+        | fields :: rest ->
+            Result.bind (parse_record recno fields delta) (fun delta ->
+                go (recno + 1) delta rest)
+      in
+      go 1 Delta.empty records
+
+let load ~schemas path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  parse ~schemas contents
+
+let save delta path =
+  let oc = open_out path in
+  output_string oc (render delta);
+  close_out oc

@@ -1,0 +1,18 @@
+(** A textual codec for deltas, used by the on-disk version store.
+
+    One change per line: a [+] or [-] sign, the relation name, then the
+    tuple's fields, all CSV-encoded:
+    {v
+      +,Family,13,Calcitonin,C3
+      -,FamilyIntro,21,Dopamine intro
+    v}
+    Blank lines and [#] comments are skipped.  Parsing needs the
+    schemas to type the fields. *)
+
+val render : Delta.t -> string
+
+val parse :
+  schemas:Schema.t list -> string -> (Delta.t, string) result
+
+val load : schemas:Schema.t list -> string -> (Delta.t, string) result
+val save : Delta.t -> string -> unit

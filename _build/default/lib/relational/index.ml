@@ -1,0 +1,18 @@
+type t = { positions : int list; table : (Tuple.t, Tuple.t list) Hashtbl.t }
+
+let build r positions =
+  let table = Hashtbl.create (max 16 (Relation.cardinality r)) in
+  Relation.iter
+    (fun tuple ->
+      let k = Tuple.project tuple positions in
+      let existing = Option.value ~default:[] (Hashtbl.find_opt table k) in
+      Hashtbl.replace table k (tuple :: existing))
+    r;
+  { positions; table }
+
+let positions idx = idx.positions
+
+let lookup idx key =
+  Option.value ~default:[] (Hashtbl.find_opt idx.table (Tuple.make key))
+
+let keys idx = Hashtbl.fold (fun k _ acc -> k :: acc) idx.table []

@@ -1,0 +1,21 @@
+(** Hash indexes over relation extents.
+
+    The conjunctive-query evaluator builds an index per (relation,
+    bound-column-set) pair it encounters, turning nested-loop joins into
+    index joins.  Indexes are throwaway: they are built from a snapshot
+    and never maintained under updates. *)
+
+type t
+
+val build : Relation.t -> int list -> t
+(** [build r positions] indexes the extent of [r] on the projection to
+    [positions]. *)
+
+val positions : t -> int list
+
+val lookup : t -> Value.t list -> Tuple.t list
+(** [lookup idx key] is every tuple whose projection on the index
+    positions equals [key] (in position order). *)
+
+val keys : t -> Tuple.t list
+(** Distinct keys present in the index. *)

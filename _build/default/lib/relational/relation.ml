@@ -1,0 +1,44 @@
+type t = { schema : Schema.t; extent : Tuple.Set.t }
+
+let empty schema = { schema; extent = Tuple.Set.empty }
+let schema r = r.schema
+let name r = Schema.name r.schema
+
+let insert r tuple =
+  if not (Schema.conforms r.schema tuple) then
+    invalid_arg
+      (Printf.sprintf "Relation.insert %s: tuple %s does not conform"
+         (name r) (Tuple.to_string tuple))
+  else { r with extent = Tuple.Set.add tuple r.extent }
+
+let insert_list r tuples = List.fold_left insert r tuples
+let delete r tuple = { r with extent = Tuple.Set.remove tuple r.extent }
+let mem r tuple = Tuple.Set.mem tuple r.extent
+let cardinality r = Tuple.Set.cardinal r.extent
+let is_empty r = Tuple.Set.is_empty r.extent
+let tuples r = Tuple.Set.elements r.extent
+let fold f r init = Tuple.Set.fold f r.extent init
+let iter f r = Tuple.Set.iter f r.extent
+let filter p r = { r with extent = Tuple.Set.filter p r.extent }
+let of_list schema tuples = insert_list (empty schema) tuples
+
+let distinct_count r positions =
+  fold
+    (fun t acc -> Tuple.Set.add (Tuple.project t positions) acc)
+    r Tuple.Set.empty
+  |> Tuple.Set.cardinal
+
+let equal a b =
+  Schema.equal a.schema b.schema && Tuple.Set.equal a.extent b.extent
+
+let diff old_r new_r =
+  let inserted = Tuple.Set.diff new_r.extent old_r.extent in
+  let deleted = Tuple.Set.diff old_r.extent new_r.extent in
+  (Tuple.Set.elements inserted, Tuple.Set.elements deleted)
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v 2>%a [%d tuples]%a@]" Schema.pp r.schema
+    (cardinality r)
+    (fun ppf () ->
+      iter (fun t -> Format.fprintf ppf "@ %a" Tuple.pp t) r)
+    ()

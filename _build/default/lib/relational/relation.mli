@@ -1,0 +1,37 @@
+(** In-memory relation extents.
+
+    A relation couples a {!Schema.t} with a set of tuples.  Extents are
+    persistent (backed by a balanced set), so snapshotting a database for
+    the version store is O(1) and shares structure. *)
+
+type t
+
+val empty : Schema.t -> t
+val schema : t -> Schema.t
+val name : t -> string
+
+val insert : t -> Tuple.t -> t
+(** Raises [Invalid_argument] when the tuple does not conform to the
+    schema. *)
+
+val insert_list : t -> Tuple.t list -> t
+val delete : t -> Tuple.t -> t
+val mem : t -> Tuple.t -> bool
+val cardinality : t -> int
+val is_empty : t -> bool
+val tuples : t -> Tuple.t list
+val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (Tuple.t -> unit) -> t -> unit
+val filter : (Tuple.t -> bool) -> t -> t
+val of_list : Schema.t -> Tuple.t list -> t
+
+val distinct_count : t -> int list -> int
+(** [distinct_count r positions] is the number of distinct projections of
+    the extent on [positions]; the rewriting cost model uses it to
+    estimate how many parameter valuations a parameterized view has. *)
+
+val equal : t -> t -> bool
+val diff : t -> t -> Tuple.t list * Tuple.t list
+(** [diff old new_] is [(inserted, deleted)] going from [old] to [new_]. *)
+
+val pp : Format.formatter -> t -> unit

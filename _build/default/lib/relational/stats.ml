@@ -1,0 +1,49 @@
+type entry = { rel : Relation.t; distincts : int option array }
+
+type t = (string, entry) Hashtbl.t
+
+let create () : t = Hashtbl.create 16
+
+let entry_for stats db name =
+  match Database.relation db name with
+  | None -> None
+  | Some rel -> (
+      match Hashtbl.find_opt stats name with
+      | Some e when e.rel == rel -> Some e
+      | _ ->
+          let e =
+            { rel; distincts = Array.make (Schema.arity (Relation.schema rel)) None }
+          in
+          Hashtbl.replace stats name e;
+          Some e)
+
+let cardinality stats db name =
+  match entry_for stats db name with
+  | None -> 0
+  | Some e -> Relation.cardinality e.rel
+
+let distinct stats db name col =
+  match entry_for stats db name with
+  | None -> 0
+  | Some e ->
+      if col < 0 || col >= Array.length e.distincts then
+        invalid_arg
+          (Printf.sprintf "Stats.distinct %s: column %d out of range" name col)
+      else (
+        match e.distincts.(col) with
+        | Some d -> d
+        | None ->
+            let d = Relation.distinct_count e.rel [ col ] in
+            e.distincts.(col) <- Some d;
+            d)
+
+let selectivity stats db name col =
+  let d = distinct stats db name col in
+  if d <= 0 then 1.0 else 1.0 /. float_of_int d
+
+let join_cardinality stats db (r, rc) (s, sc) =
+  let cr = float_of_int (cardinality stats db r) in
+  let cs = float_of_int (cardinality stats db s) in
+  let dr = distinct stats db r rc and ds = distinct stats db s sc in
+  let dmax = float_of_int (max 1 (max dr ds)) in
+  cr *. cs /. dmax

@@ -1,0 +1,45 @@
+type t = Value.t array
+
+let make vs = Array.of_list vs
+let of_array a = a
+let to_list = Array.to_list
+let arity = Array.length
+
+let get t i =
+  if i < 0 || i >= Array.length t then
+    invalid_arg (Printf.sprintf "Tuple.get: index %d out of range" i)
+  else t.(i)
+
+let project t positions = Array.of_list (List.map (get t) positions)
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Int.compare la lb
+  else
+    let rec go i =
+      if i = la then 0
+      else
+        match Value.compare a.(i) b.(i) with 0 -> go (i + 1) | c -> c
+    in
+    go 0
+
+let equal a b = compare a b = 0
+let hash = Hashtbl.hash
+
+let pp ppf t =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       Value.pp)
+    (to_list t)
+
+let to_string t = Format.asprintf "%a" pp t
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

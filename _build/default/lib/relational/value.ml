@@ -1,0 +1,114 @@
+type t =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+  | Timestamp of int
+  | Null
+
+type ty = TInt | TFloat | TStr | TBool | TTimestamp | TAny
+
+let type_of = function
+  | Int _ -> TInt
+  | Float _ -> TFloat
+  | Str _ -> TStr
+  | Bool _ -> TBool
+  | Timestamp _ -> TTimestamp
+  | Null -> TAny
+
+let conforms v ty =
+  match (v, ty) with
+  | Null, _ -> true
+  | _, TAny -> true
+  | v, ty -> type_of v = ty
+
+(* Rank orders values of distinct types so that [compare] is total. *)
+let rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ -> 2
+  | Float _ -> 3
+  | Timestamp _ -> 4
+  | Str _ -> 5
+
+let compare a b =
+  match (a, b) with
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Str x, Str y -> String.compare x y
+  | Bool x, Bool y -> Bool.compare x y
+  | Timestamp x, Timestamp y -> Int.compare x y
+  | Null, Null -> 0
+  | a, b -> Int.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+let hash = Hashtbl.hash
+
+let pp ppf = function
+  | Int i -> Format.pp_print_int ppf i
+  | Float f -> Format.fprintf ppf "%g" f
+  | Str s -> Format.fprintf ppf "%S" s
+  | Bool b -> Format.pp_print_bool ppf b
+  | Timestamp s -> Format.fprintf ppf "@%d" s
+  | Null -> Format.pp_print_string ppf "NULL"
+
+let to_string v =
+  match v with
+  | Str s -> s
+  | _ -> Format.asprintf "%a" pp v
+
+let pp_ty ppf ty =
+  Format.pp_print_string ppf
+    (match ty with
+    | TInt -> "int"
+    | TFloat -> "float"
+    | TStr -> "string"
+    | TBool -> "bool"
+    | TTimestamp -> "timestamp"
+    | TAny -> "any")
+
+let ty_to_string ty = Format.asprintf "%a" pp_ty ty
+
+let of_string ty s =
+  if String.uppercase_ascii s = "NULL" then Ok Null
+  else
+    match ty with
+    | TInt -> (
+        match int_of_string_opt s with
+        | Some i -> Ok (Int i)
+        | None -> Error (Printf.sprintf "not an int: %S" s))
+    | TFloat -> (
+        match float_of_string_opt s with
+        | Some f -> Ok (Float f)
+        | None -> Error (Printf.sprintf "not a float: %S" s))
+    | TBool -> (
+        match bool_of_string_opt (String.lowercase_ascii s) with
+        | Some b -> Ok (Bool b)
+        | None -> Error (Printf.sprintf "not a bool: %S" s))
+    | TTimestamp -> (
+        (* accept both bare seconds and the printed "@seconds" form so
+           CSV round-trips *)
+        let body =
+          if String.length s > 0 && s.[0] = '@' then
+            String.sub s 1 (String.length s - 1)
+          else s
+        in
+        match int_of_string_opt body with
+        | Some i -> Ok (Timestamp i)
+        | None -> Error (Printf.sprintf "not a timestamp: %S" s))
+    | TStr | TAny -> Ok (Str s)
+
+let ty_of_string = function
+  | "int" -> Ok TInt
+  | "float" -> Ok TFloat
+  | "string" | "str" -> Ok TStr
+  | "bool" -> Ok TBool
+  | "timestamp" -> Ok TTimestamp
+  | "any" -> Ok TAny
+  | s -> Error (Printf.sprintf "unknown type: %S" s)
+
+let int i = Int i
+let str s = Str s
+let float f = Float f
+let bool b = Bool b
+let timestamp s = Timestamp s

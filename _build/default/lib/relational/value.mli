@@ -1,0 +1,46 @@
+(** Typed atomic values stored in relations.
+
+    Values are the leaves of every tuple, citation snippet and query
+    constant in the system.  The ordering is total so that values can key
+    sets and maps; values of distinct types are ordered by their type
+    tag first. *)
+
+type t =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+  | Timestamp of int  (** seconds since epoch; used by versioned citations *)
+  | Null
+
+(** Value types, used by schemas to constrain columns. *)
+type ty = TInt | TFloat | TStr | TBool | TTimestamp | TAny
+
+val type_of : t -> ty
+(** [type_of v] is the type tag of [v]; [Null] has type [TAny]. *)
+
+val conforms : t -> ty -> bool
+(** [conforms v ty] holds when [v] may populate a column of type [ty].
+    [Null] conforms to every type and every value conforms to [TAny]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+val pp_ty : Format.formatter -> ty -> unit
+val to_string : t -> string
+val ty_to_string : ty -> string
+
+val of_string : ty -> string -> (t, string) result
+(** [of_string ty s] parses [s] as a value of type [ty].  The literal
+    ["NULL"] parses as [Null] for every type.  Used by the CSV loader. *)
+
+val ty_of_string : string -> (ty, string) result
+
+(* Convenience constructors. *)
+val int : int -> t
+val str : string -> t
+val float : float -> t
+val bool : bool -> t
+val timestamp : int -> t

@@ -1,0 +1,56 @@
+type version = int
+
+module Imap = Map.Make (Int)
+
+type entry = { db : Database.t; at : int }
+
+type t = {
+  entries : entry Imap.t;
+  head : version;
+  clock : unit -> int;
+}
+
+let default_clock () =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    !counter
+
+let create ?clock db =
+  let clock = match clock with Some c -> c | None -> default_clock () in
+  { entries = Imap.singleton 0 { db; at = clock () }; head = 0; clock }
+
+let head s = s.head
+let head_db s = (Imap.find s.head s.entries).db
+
+let commit s db =
+  let v = s.head + 1 in
+  ({ s with entries = Imap.add v { db; at = s.clock () } s.entries; head = v }, v)
+
+let commit_delta s delta = commit s (Delta.apply (head_db s) delta)
+
+let checkout s v = Option.map (fun e -> e.db) (Imap.find_opt v s.entries)
+
+let checkout_exn s v =
+  match checkout s v with Some db -> db | None -> raise Not_found
+
+let timestamp s v = Option.map (fun e -> e.at) (Imap.find_opt v s.entries)
+let versions s = List.map fst (Imap.bindings s.entries)
+
+let version_at s time =
+  Imap.fold
+    (fun v e best -> if e.at <= time then Some v else best)
+    s.entries None
+
+let delta_between s v1 v2 =
+  match (checkout s v1, checkout s v2) with
+  | Some d1, Some d2 -> Some (Delta.between d1 d2)
+  | _ -> None
+
+let pp ppf s =
+  let pp_one ppf (v, e) =
+    Format.fprintf ppf "v%d @%d (%d tuples)" v e.at (Database.total_tuples e.db)
+  in
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_one)
+    (Imap.bindings s.entries)

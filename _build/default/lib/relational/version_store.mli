@@ -1,0 +1,40 @@
+(** Versioned database storage — the substrate for citation {e fixity}.
+
+    The paper's section 3 ("Fixity") requires that a citation "bring back
+    the data as seen at the time it was cited"; the approach it cites
+    (Proell & Rauber) is versioning plus a version id in the citation.
+    This store keeps every committed database version; since databases are
+    persistent values, versions share structure and a commit costs only
+    the delta. *)
+
+type version = int
+
+type t
+
+val create : ?clock:(unit -> int) -> Database.t -> t
+(** [create db] starts a store whose version 0 is [db].  [clock] supplies
+    commit timestamps (seconds); it defaults to a deterministic counter so
+    tests and benchmarks are reproducible. *)
+
+val head : t -> version
+val head_db : t -> Database.t
+
+val commit : t -> Database.t -> t * version
+(** Records a new version whose contents are the given database. *)
+
+val commit_delta : t -> Delta.t -> t * version
+(** Applies a delta to the head and commits the result. *)
+
+val checkout : t -> version -> Database.t option
+val checkout_exn : t -> version -> Database.t
+val timestamp : t -> version -> int option
+val versions : t -> version list
+
+val version_at : t -> int -> version option
+(** [version_at store time] is the latest version committed at or before
+    [time]. *)
+
+val delta_between : t -> version -> version -> Delta.t option
+(** [delta_between store v1 v2] is the delta turning [v1] into [v2]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/rewriting/bucket.ml: Array Candidate Dc_cq List String View

@@ -1,0 +1,1 @@
+lib/rewriting/bucket.mli: Candidate Dc_cq View

@@ -1,0 +1,1 @@
+lib/rewriting/candidate.ml: Dc_cq Format List String View

@@ -1,0 +1,1 @@
+lib/rewriting/candidate.mli: Dc_cq Format View

@@ -1,0 +1,1 @@
+lib/rewriting/cost.ml: Dc_cq Dc_relational List String View

@@ -1,0 +1,1 @@
+lib/rewriting/cost.mli: Dc_cq Dc_relational View

@@ -1,0 +1,1 @@
+lib/rewriting/expansion.ml: Dc_cq List Option View

@@ -1,0 +1,1 @@
+lib/rewriting/expansion.mli: Dc_cq View

@@ -1,0 +1,1 @@
+lib/rewriting/minicon.ml: Array Candidate Dc_cq Dc_relational Fun Hashtbl List Printf String View

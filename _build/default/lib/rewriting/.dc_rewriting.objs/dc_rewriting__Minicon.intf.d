@@ -1,0 +1,1 @@
+lib/rewriting/minicon.mli: Candidate Dc_cq View

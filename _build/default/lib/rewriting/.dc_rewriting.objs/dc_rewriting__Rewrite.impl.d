@@ -1,0 +1,1 @@
+lib/rewriting/rewrite.ml: Array Bucket Candidate Dc_cq Expansion Fun Hashtbl List Minicon Option Printf String

@@ -1,0 +1,1 @@
+lib/rewriting/rewrite.mli: Dc_cq View

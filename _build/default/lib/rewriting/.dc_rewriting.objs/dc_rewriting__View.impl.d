@@ -1,0 +1,1 @@
+lib/rewriting/view.ml: Dc_cq List Map Option Printf String

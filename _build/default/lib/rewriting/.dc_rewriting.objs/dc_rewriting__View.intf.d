@@ -1,0 +1,1 @@
+lib/rewriting/view.mli: Dc_cq Format

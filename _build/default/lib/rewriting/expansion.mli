@@ -1,0 +1,33 @@
+(** Expansion of rewritings back to the base schema.
+
+    A rewriting is a conjunctive query whose body atoms reference view
+    names (and, for {e partial} rewritings, base predicates).  Its
+    expansion replaces every view atom with the view's body, freshening
+    the view's existential variables per occurrence and unifying the
+    view's head with the atom's arguments.  Equivalence of a candidate
+    rewriting with the original query is judged on expansions. *)
+
+val expand_atom :
+  View.Set.t -> int -> Dc_cq.Atom.t -> (Dc_cq.Atom.t list * Dc_cq.Subst.t) option
+(** [expand_atom views occurrence atom] is the expanded body of [atom]
+    plus the substitution induced on the atom's own variables (head
+    unification can equate rewriting variables with each other or with
+    constants).  [None] when unification fails, e.g. the atom passes two
+    different constants to one view head variable.  Atoms over unknown
+    predicates expand to themselves.  [occurrence] disambiguates
+    freshening across multiple uses of one view. *)
+
+val expand : View.Set.t -> Dc_cq.Query.t -> Dc_cq.Query.t option
+(** Expansion of a whole rewriting.  [None] when some atom fails to
+    unify with its view's head (such a rewriting is vacuous: it returns
+    no answers). *)
+
+val is_equivalent_rewriting :
+  ?deps:Dc_cq.Dependency.t list ->
+  View.Set.t ->
+  Dc_cq.Query.t ->
+  Dc_cq.Query.t ->
+  bool
+(** [is_equivalent_rewriting views q r] — does the expansion of [r]
+    define the same function as [q]?  With [deps], equivalence is
+    tested modulo the dependencies via {!Dc_cq.Chase}. *)

@@ -1,0 +1,1 @@
+lib/xml/subtree_view.ml: Dc_citation Dc_cq Dc_relational List Node Printf String

@@ -1,0 +1,1 @@
+lib/xml/subtree_view.mli: Dc_citation Dc_relational Node

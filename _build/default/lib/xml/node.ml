@@ -1,0 +1,77 @@
+type t =
+  | Element of { tag : string; attrs : (string * string) list; children : t list }
+  | Text of string
+
+let element ?(attrs = []) tag children = Element { tag; attrs; children }
+let text s = Text s
+let tag = function Element { tag; _ } -> Some tag | Text _ -> None
+
+let attr node name =
+  match node with
+  | Element { attrs; _ } -> List.assoc_opt name attrs
+  | Text _ -> None
+
+let children = function
+  | Element { children; _ } -> children
+  | Text _ -> []
+
+let rec text_content = function
+  | Text s -> s
+  | Element { children; _ } -> String.concat "" (List.map text_content children)
+
+let rec find_all p node =
+  let here = if p node then [ node ] else [] in
+  here @ List.concat_map (find_all p) (children node)
+
+let by_tag t node =
+  find_all (fun n -> tag n = Some t) node
+
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string b "&lt;"
+      | '>' -> Buffer.add_string b "&gt;"
+      | '&' -> Buffer.add_string b "&amp;"
+      | '"' -> Buffer.add_string b "&quot;"
+      | '\'' -> Buffer.add_string b "&apos;"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let rec pp ppf = function
+  | Text s -> Format.pp_print_string ppf (escape s)
+  | Element { tag; attrs; children } ->
+      let pp_attrs ppf attrs =
+        List.iter
+          (fun (n, v) -> Format.fprintf ppf " %s=\"%s\"" n (escape v))
+          attrs
+      in
+      if children = [] then Format.fprintf ppf "<%s%a/>" tag pp_attrs attrs
+      else
+        Format.fprintf ppf "<%s%a>%a</%s>" tag pp_attrs attrs
+          (fun ppf -> List.iter (pp ppf))
+          children tag
+
+let to_string node = Format.asprintf "%a" pp node
+
+let path expr root =
+  let steps = String.split_on_char '/' expr in
+  let matches step node =
+    match tag node with
+    | Some t -> step = "*" || String.equal step t
+    | None -> false
+  in
+  let rec walk nodes = function
+    | [] -> nodes
+    | step :: rest ->
+        walk
+          (List.concat_map
+             (fun n -> List.filter (matches step) (children n))
+             nodes)
+          rest
+  in
+  match steps with
+  | [] -> []
+  | first :: rest -> if matches first root then walk [ root ] rest else []

@@ -1,0 +1,35 @@
+(** XML document trees.
+
+    A deliberately small model: elements with attributes, text children,
+    no namespaces or processing instructions — the shape of the curated
+    XML exports (e.g. GtoPdb's download files) the paper's "Other
+    models" discussion has in mind. *)
+
+type t =
+  | Element of { tag : string; attrs : (string * string) list; children : t list }
+  | Text of string
+
+val element : ?attrs:(string * string) list -> string -> t list -> t
+val text : string -> t
+
+val tag : t -> string option
+val attr : t -> string -> string option
+val children : t -> t list
+
+val text_content : t -> string
+(** Concatenated descendant text. *)
+
+val find_all : (t -> bool) -> t -> t list
+(** Pre-order descendants (including the root) satisfying the
+    predicate. *)
+
+val by_tag : string -> t -> t list
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+(** Serialization with the five standard entity escapes. *)
+
+val path : string -> t -> t list
+(** [path "database/family/member" doc] — a slash-separated descent by
+    tag from the root (whose own tag must match the first step).
+    A ["*"] step matches any element. *)

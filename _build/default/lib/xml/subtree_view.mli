@@ -1,0 +1,33 @@
+(** Tag-conditional citation views over XML documents — the XML half of
+    the paper's "Other models" (§3) claim, mirroring {!Dc_rdf.Class_view}.
+
+    The document is encoded relationally — [Element(EID, Parent, Tag,
+    Ord)], [Attr(EID, Name, Value)], [Content(EID, Text)] — so the
+    relational citation engine is reused unchanged: the citation unit is
+    an element, and which citation view applies is determined by the
+    element's tag (XML's stand-in for the resource class). *)
+
+val element_relation : Dc_relational.Schema.t
+val attr_relation : Dc_relational.Schema.t
+val content_relation : Dc_relational.Schema.t
+
+val encode : Node.t -> Dc_relational.Database.t
+(** Depth-first numbering from 1; the root's parent is 0. *)
+
+val element_id : Dc_relational.Database.t -> tag:string -> int list
+(** Ids of the elements with the given tag, ascending. *)
+
+val tag_citation_view :
+  tag:string -> blurb:string -> Dc_citation.Citation_view.t
+(** [λEID. V_<tag>(EID,Name,Value) :- Element(EID,P,<tag>,O),
+    Attr(EID,Name,Value)] with citation queries pulling the element's
+    attributes and the fixed [blurb]. *)
+
+val cite_element :
+  Dc_relational.Database.t ->
+  views:Dc_citation.Citation_view.t list ->
+  eid:int ->
+  (Dc_citation.Engine.result * string, string) result
+(** Looks the element's tag up (the "reasoning" step), cites the
+    tag-restricted attribute query, and returns the result with the tag
+    used.  [Error] for unknown ids. *)

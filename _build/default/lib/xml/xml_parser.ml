@@ -1,0 +1,209 @@
+exception Err of int * string
+
+let fail pos msg = raise (Err (pos, msg))
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '-' || c = ':' || c = '.'
+
+type state = { src : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+let advance st = st.pos <- st.pos + 1
+
+let skip_spaces st =
+  while
+    match peek st with Some c when is_space c -> true | _ -> false
+  do
+    advance st
+  done
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | _ -> fail st.pos (Printf.sprintf "expected %C" c)
+
+let name st =
+  let start = st.pos in
+  while
+    match peek st with Some c when is_name_char c -> true | _ -> false
+  do
+    advance st
+  done;
+  if st.pos = start then fail st.pos "expected a name"
+  else String.sub st.src start (st.pos - start)
+
+(* text up to the next '<', decoding entities *)
+let decode_entity st =
+  (* called just after '&' *)
+  let upto = String.index_from_opt st.src st.pos ';' in
+  match upto with
+  | None -> fail st.pos "unterminated entity"
+  | Some semi ->
+      let body = String.sub st.src st.pos (semi - st.pos) in
+      st.pos <- semi + 1;
+      (match body with
+      | "lt" -> "<"
+      | "gt" -> ">"
+      | "amp" -> "&"
+      | "quot" -> "\""
+      | "apos" -> "'"
+      | _ when String.length body > 1 && body.[0] = '#' ->
+          let code =
+            if body.[1] = 'x' || body.[1] = 'X' then
+              int_of_string_opt ("0x" ^ String.sub body 2 (String.length body - 2))
+            else int_of_string_opt (String.sub body 1 (String.length body - 1))
+          in
+          (match code with
+          | Some c when c >= 0 && c < 128 -> String.make 1 (Char.chr c)
+          | Some c ->
+              (* encode as UTF-8 *)
+              let b = Buffer.create 4 in
+              Buffer.add_utf_8_uchar b (Uchar.of_int c);
+              Buffer.contents b
+          | None -> fail st.pos "bad character reference")
+      | other -> fail st.pos (Printf.sprintf "unknown entity &%s;" other))
+
+let text_chunk st =
+  let b = Buffer.create 32 in
+  let rec go () =
+    match peek st with
+    | None | Some '<' -> Buffer.contents b
+    | Some '&' ->
+        advance st;
+        Buffer.add_string b (decode_entity st);
+        go ()
+    | Some c ->
+        Buffer.add_char b c;
+        advance st;
+        go ()
+  in
+  go ()
+
+let quoted st =
+  match peek st with
+  | Some (('"' | '\'') as q) ->
+      advance st;
+      let b = Buffer.create 16 in
+      let rec go () =
+        match peek st with
+        | None -> fail st.pos "unterminated attribute value"
+        | Some c when c = q ->
+            advance st;
+            Buffer.contents b
+        | Some '&' ->
+            advance st;
+            Buffer.add_string b (decode_entity st);
+            go ()
+        | Some c ->
+            Buffer.add_char b c;
+            advance st;
+            go ()
+      in
+      go ()
+  | _ -> fail st.pos "expected a quoted value"
+
+let skip_comment st =
+  (* after "<!--" *)
+  let rec go () =
+    if st.pos + 2 < String.length st.src && String.sub st.src st.pos 3 = "-->"
+    then st.pos <- st.pos + 3
+    else if st.pos >= String.length st.src then fail st.pos "unterminated comment"
+    else begin
+      advance st;
+      go ()
+    end
+  in
+  go ()
+
+let looking_at st s =
+  st.pos + String.length s <= String.length st.src
+  && String.sub st.src st.pos (String.length s) = s
+
+let rec element st =
+  expect st '<';
+  let tag = name st in
+  let rec attrs acc =
+    skip_spaces st;
+    match peek st with
+    | Some '/' | Some '>' -> List.rev acc
+    | Some c when is_name_char c ->
+        let n = name st in
+        skip_spaces st;
+        expect st '=';
+        skip_spaces st;
+        let v = quoted st in
+        attrs ((n, v) :: acc)
+    | _ -> fail st.pos "expected attribute, '/>' or '>'"
+  in
+  let attrs = attrs [] in
+  match peek st with
+  | Some '/' ->
+      advance st;
+      expect st '>';
+      Node.element ~attrs tag []
+  | Some '>' ->
+      advance st;
+      let children = content st [] in
+      (* closing tag: content stops at "</" *)
+      expect st '<';
+      expect st '/';
+      let closing = name st in
+      if not (String.equal closing tag) then
+        fail st.pos (Printf.sprintf "mismatched </%s>, expected </%s>" closing tag);
+      skip_spaces st;
+      expect st '>';
+      Node.element ~attrs tag children
+  | _ -> fail st.pos "expected '/>' or '>'"
+
+and content st acc =
+  if looking_at st "</" then List.rev acc
+  else if looking_at st "<!--" then begin
+    st.pos <- st.pos + 4;
+    skip_comment st;
+    content st acc
+  end
+  else
+    match peek st with
+    | None -> fail st.pos "unexpected end of document"
+    | Some '<' -> content st (element st :: acc)
+    | Some _ ->
+        let t = text_chunk st in
+        let acc = if String.trim t = "" then acc else Node.text t :: acc in
+        content st acc
+
+let parse src =
+  let st = { src; pos = 0 } in
+  match
+    (* optional declaration and leading comments/space *)
+    skip_spaces st;
+    if looking_at st "<?" then begin
+      match String.index_from_opt src st.pos '>' with
+      | Some i -> st.pos <- i + 1
+      | None -> fail st.pos "unterminated declaration"
+    end;
+    let rec leading () =
+      skip_spaces st;
+      if looking_at st "<!--" then begin
+        st.pos <- st.pos + 4;
+        skip_comment st;
+        leading ()
+      end
+    in
+    leading ();
+    let root = element st in
+    skip_spaces st;
+    (match peek st with
+    | None -> ()
+    | Some _ -> fail st.pos "content after the root element");
+    root
+  with
+  | root -> Ok root
+  | exception Err (pos, msg) -> Error (Printf.sprintf "at %d: %s" pos msg)
+
+let parse_exn src =
+  match parse src with Ok n -> n | Error e -> invalid_arg ("Xml_parser: " ^ e)

@@ -1,0 +1,12 @@
+(** A minimal XML reader matching the {!Node} model.
+
+    Supports elements, attributes (single- or double-quoted), text, the
+    five standard entities plus decimal/hex character references,
+    comments and an optional leading declaration.  No namespaces, no
+    DTDs, no CDATA — curated-database exports rarely need more, and
+    out-of-scope constructs are rejected with a position. *)
+
+val parse : string -> (Node.t, string) result
+(** Parses a document with exactly one root element. *)
+
+val parse_exn : string -> Node.t

@@ -1,0 +1,1 @@
+test/test_bucket_minicon.ml: Alcotest Array Dc_citation Dc_cq Dc_gtopdb Dc_relational Dc_rewriting List Result Testutil

@@ -1,0 +1,1 @@
+test/test_citation.ml: Alcotest Dc_citation Dc_gtopdb Dc_relational Dc_rewriting List Result String Testutil

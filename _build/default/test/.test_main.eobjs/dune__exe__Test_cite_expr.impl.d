@@ -1,0 +1,1 @@
+test/test_cite_expr.ml: Alcotest Dc_citation Dc_provenance List Printf String Testutil

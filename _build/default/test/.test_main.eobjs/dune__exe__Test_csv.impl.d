@@ -1,0 +1,1 @@
+test/test_csv.ml: Alcotest Char Dc_relational Filename Gen QCheck Result Sys Testutil

@@ -1,0 +1,1 @@
+test/test_delta_version.ml: Alcotest Dc_relational Gen List QCheck Testutil

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Dc_citation Dc_cq Dc_gtopdb Dc_relational List Result String Testutil

@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Dc_cq Dc_gtopdb Dc_relational List QCheck Testutil

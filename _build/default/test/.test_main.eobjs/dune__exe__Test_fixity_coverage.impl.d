@@ -1,0 +1,1 @@
+test/test_fixity_coverage.ml: Alcotest Dc_citation Dc_cq Dc_gtopdb Dc_relational Dc_rewriting List Result Testutil

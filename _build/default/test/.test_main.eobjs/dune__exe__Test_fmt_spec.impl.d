@@ -1,0 +1,1 @@
+test/test_fmt_spec.ml: Alcotest Dc_citation Dc_relational Filename List Result String Sys Testutil Unix

@@ -1,0 +1,1 @@
+test/test_incremental.ml: Alcotest Dc_citation Dc_gtopdb Dc_relational List QCheck Random Testutil

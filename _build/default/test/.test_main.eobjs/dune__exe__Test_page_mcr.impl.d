@@ -1,0 +1,1 @@
+test/test_page_mcr.ml: Alcotest Dc_citation Dc_cq Dc_gtopdb Dc_relational Dc_rewriting List Result String Testutil

@@ -1,0 +1,1 @@
+test/test_persistence.ml: Alcotest Array Dc_citation Dc_gtopdb Dc_relational Filename Fun List Result Sys Testutil

@@ -1,0 +1,1 @@
+test/test_policy.ml: Alcotest Dc_citation Dc_cq Dc_gtopdb List String Testutil

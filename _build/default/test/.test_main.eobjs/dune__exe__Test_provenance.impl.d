@@ -1,0 +1,1 @@
+test/test_provenance.ml: Alcotest Dc_gtopdb Dc_provenance Dc_relational Gen List Printf QCheck Testutil

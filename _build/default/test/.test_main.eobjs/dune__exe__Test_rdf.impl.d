@@ -1,0 +1,1 @@
+test/test_rdf.ml: Alcotest Dc_citation Dc_rdf Dc_relational Fun List Printf String

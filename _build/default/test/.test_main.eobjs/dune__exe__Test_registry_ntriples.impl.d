@@ -1,0 +1,1 @@
+test/test_registry_ntriples.ml: Alcotest Dc_citation Dc_gtopdb Dc_rdf Dc_relational Filename List Printf Result String Sys Testutil

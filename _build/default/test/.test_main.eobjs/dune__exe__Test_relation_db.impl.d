@@ -1,0 +1,1 @@
+test/test_relation_db.ml: Alcotest Dc_relational Gen List QCheck Testutil

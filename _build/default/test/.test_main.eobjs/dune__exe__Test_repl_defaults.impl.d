@@ -1,0 +1,1 @@
+test/test_repl_defaults.ml: Alcotest Array Dc_citation Dc_gtopdb Dc_relational Filename Fun List String Sys Testutil

@@ -1,0 +1,1 @@
+test/test_rewriting.ml: Alcotest Dc_citation Dc_cq Dc_gtopdb Dc_relational Dc_rewriting List QCheck Result String Testutil

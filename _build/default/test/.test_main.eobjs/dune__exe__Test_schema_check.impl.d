@@ -1,0 +1,1 @@
+test/test_schema_check.ml: Alcotest Char Dc_citation Dc_cq Dc_gtopdb List QCheck Result String Testutil

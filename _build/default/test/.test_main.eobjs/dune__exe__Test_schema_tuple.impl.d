@@ -1,0 +1,1 @@
+test/test_schema_tuple.ml: Alcotest Dc_relational Fun Gen List QCheck Testutil

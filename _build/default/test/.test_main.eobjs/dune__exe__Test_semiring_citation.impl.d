@@ -1,0 +1,1 @@
+test/test_semiring_citation.ml: Alcotest Dc_citation Dc_cq Dc_gtopdb Dc_provenance Dc_relational Dc_rewriting Format List QCheck String Testutil

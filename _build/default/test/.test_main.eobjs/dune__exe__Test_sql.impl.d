@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Dc_citation Dc_cq Dc_gtopdb Dc_relational List Printf QCheck Result Testutil

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Dc_citation Dc_gtopdb Dc_relational Dc_rewriting List Testutil

@@ -1,0 +1,1 @@
+test/test_store_suggest.ml: Alcotest Dc_citation Dc_gtopdb Dc_rewriting List String Testutil

@@ -1,0 +1,1 @@
+test/test_subst_unify.ml: Alcotest Dc_cq Gen List Printf QCheck Testutil

@@ -1,0 +1,1 @@
+test/test_ucq.ml: Alcotest Dc_cq Dc_relational List Result Testutil

@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Dc_relational Gen QCheck Result Testutil

@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Dc_citation Dc_relational Dc_xml List Printf QCheck QCheck_alcotest Result

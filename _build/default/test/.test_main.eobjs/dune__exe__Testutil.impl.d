@@ -1,0 +1,1 @@
+test/testutil.ml: Alcotest Dc_citation Dc_cq Dc_gtopdb Dc_relational List QCheck QCheck_alcotest

@@ -1,0 +1,139 @@
+open Testutil
+module Cq = Dc_cq
+module Rw = Dc_rewriting
+module B = Dc_rewriting.Bucket
+module M = Dc_rewriting.Minicon
+module V = Dc_rewriting.View
+module F = Dc_citation.Fixity
+module VS = Dc_relational.Version_store
+
+let q = parse
+
+let paper_vset () =
+  V.Set.of_list
+    (List.map Dc_citation.Citation_view.view Dc_gtopdb.Paper_views.all)
+
+let test_bucket_sizes () =
+  let buckets =
+    B.buckets ~level:B.Filtered (paper_vset ()) Dc_gtopdb.Paper_views.query_q
+  in
+  (* Family subgoal: V1 and V2; FamilyIntro subgoal: V3 *)
+  Alcotest.(check (list int)) "sizes" [ 2; 1 ] (B.bucket_sizes buckets)
+
+let test_bucket_naive_keeps_nonexposing () =
+  (* a view hiding FName cannot expose the distinguished variable:
+     Filtered drops it, Naive keeps it *)
+  let views =
+    V.Set.of_list
+      [
+        V.of_query (q "VHide(Desc) :- Family(FID,FName,Desc)");
+        V.of_query (q "V3(FID,Text) :- FamilyIntro(FID,Text)");
+      ]
+  in
+  let query = Dc_gtopdb.Paper_views.query_q in
+  let naive = B.buckets ~level:B.Naive views query in
+  let filtered = B.buckets ~level:B.Filtered views query in
+  Alcotest.(check (list int)) "naive keeps" [ 1; 1 ] (B.bucket_sizes naive);
+  Alcotest.(check (list int)) "filtered drops" [ 0; 1 ]
+    (B.bucket_sizes filtered)
+
+let test_bucket_entry_covers_its_subgoal () =
+  let buckets =
+    B.buckets ~level:B.Filtered (paper_vset ()) Dc_gtopdb.Paper_views.query_q
+  in
+  Array.iteri
+    (fun i bucket ->
+      List.iter
+        (fun (e : Rw.Candidate.t) ->
+          Alcotest.(check (list int)) "covers own subgoal" [ i ] e.covered)
+        bucket)
+    buckets
+
+let test_minicon_dedup () =
+  (* MCDs reachable from multiple seeds appear once *)
+  let views =
+    V.Set.of_list
+      [ V.of_query (q "VJ(X) :- R(X,Y), S(Y,X)") ]
+  in
+  let query = q "Q(A) :- R(A,B), S(B,A)" in
+  let mcds = M.descriptions views query in
+  Alcotest.(check int) "one MCD" 1 (List.length mcds);
+  match mcds with
+  | [ m ] ->
+      Alcotest.(check (list int)) "covers both subgoals" [ 0; 1 ] m.covered
+  | _ -> ()
+
+let test_minicon_rejects_distinguished_in_existential () =
+  (* V hides X entirely; Q needs X in the head: no MCD *)
+  let views = V.Set.of_list [ V.of_query (q "VBad(Y) :- R(X,Y)") ] in
+  let query = q "Q(X) :- R(X,Y)" in
+  Alcotest.(check int) "no MCD" 0 (List.length (M.descriptions views query))
+
+let test_minicon_constant_compatibility () =
+  let views = V.Set.of_list [ V.of_query (q "VC(X) :- R(X,3)") ] in
+  Alcotest.(check int) "matching constant" 1
+    (List.length (M.descriptions views (q "Q(A) :- R(A,3)")));
+  Alcotest.(check int) "clashing constant" 0
+    (List.length (M.descriptions views (q "Q(A) :- R(A,4)")));
+  (* view constant vs query variable at an exposed position: the view
+     can still cover (restricting), candidate verification decides *)
+  Alcotest.(check bool) "var position" true
+    (List.length (M.descriptions views (q "Q(A) :- R(A,B)")) >= 0)
+
+(* time-based citing *)
+
+let test_cite_at_time () =
+  let store = VS.create (paper_db ()) in
+  (* default clock: version 0 at time 1 *)
+  let store, _ =
+    VS.commit_delta store
+      (Dc_relational.Delta.delete Dc_relational.Delta.empty "FamilyIntro"
+         (tuple [ int 21; str "Dopamine intro" ]))
+  in
+  (* version 1 at time 2 *)
+  let views = Dc_gtopdb.Paper_views.all in
+  let query = Dc_gtopdb.Paper_views.query_q in
+  (match F.cite_at_time ~store ~views ~time:1 query with
+  | Error e -> Alcotest.fail e
+  | Ok vc ->
+      Alcotest.(check int) "time 1 -> v0" 0 vc.version;
+      Alcotest.(check int) "full answer" 2 (List.length vc.tuples));
+  (match F.cite_at_time ~store ~views ~time:99 query with
+  | Error e -> Alcotest.fail e
+  | Ok vc ->
+      Alcotest.(check int) "late time -> head" 1 vc.version;
+      Alcotest.(check int) "shrunk answer" 1 (List.length vc.tuples));
+  Alcotest.(check bool) "time before epoch" true
+    (Result.is_error (F.cite_at_time ~store ~views ~time:0 query));
+  (match F.cite_at ~store ~views ~version:0 query with
+  | Error e -> Alcotest.fail e
+  | Ok vc ->
+      Alcotest.(check bool) "cite_at verifies" true
+        (F.verify ~store ~views vc));
+  Alcotest.(check bool) "cite_at unknown version" true
+    (Result.is_error (F.cite_at ~store ~views ~version:42 query))
+
+let test_custom_clock () =
+  let t = ref 100 in
+  let clock () =
+    t := !t + 10;
+    !t
+  in
+  let store = VS.create ~clock (paper_db ()) in
+  let store, v1 = VS.commit store (paper_db ()) in
+  Alcotest.(check (option int)) "v0 at 110" (Some 110) (VS.timestamp store 0);
+  Alcotest.(check (option int)) "v1 at 120" (Some 120) (VS.timestamp store v1);
+  Alcotest.(check (option int)) "lookup by custom time" (Some 0)
+    (VS.version_at store 115)
+
+let suite =
+  [
+    Alcotest.test_case "bucket sizes" `Quick test_bucket_sizes;
+    Alcotest.test_case "naive keeps non-exposing" `Quick test_bucket_naive_keeps_nonexposing;
+    Alcotest.test_case "bucket coverage" `Quick test_bucket_entry_covers_its_subgoal;
+    Alcotest.test_case "minicon dedup" `Quick test_minicon_dedup;
+    Alcotest.test_case "minicon distinguished filter" `Quick test_minicon_rejects_distinguished_in_existential;
+    Alcotest.test_case "minicon constants" `Quick test_minicon_constant_compatibility;
+    Alcotest.test_case "cite at time" `Quick test_cite_at_time;
+    Alcotest.test_case "custom clock" `Quick test_custom_clock;
+  ]

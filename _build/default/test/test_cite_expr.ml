@@ -1,0 +1,75 @@
+open Testutil
+module E = Dc_citation.Cite_expr
+module P = Dc_provenance.Polynomial
+
+let l1 = E.leaf ~view:"V1" ~params:[ ("FID", int 11) ]
+let l1' = E.leaf ~view:"V1" ~params:[ ("FID", int 12) ]
+let l2 = E.leaf ~view:"V2" ~params:[]
+let l3 = E.leaf ~view:"V3" ~params:[]
+
+let test_normalize_flatten () =
+  let nested = E.alt [ E.alt [ l1; l1' ]; l2 ] in
+  let flat = E.alt [ l1; l1'; l2 ] in
+  Alcotest.(check cite_expr) "flattened" flat nested
+
+let test_normalize_dedup () =
+  let dup = E.joint [ l2; l2; l3 ] in
+  Alcotest.(check cite_expr) "deduped" (E.joint [ l2; l3 ]) dup
+
+let test_normalize_singleton () =
+  Alcotest.(check cite_expr) "singleton unwrapped" l2 (E.joint [ l2 ]);
+  Alcotest.(check cite_expr) "nested singletons" l2 (E.agg [ E.alt_r [ E.alt [ l2 ] ] ])
+
+let test_normalize_order_insensitive () =
+  Alcotest.(check cite_expr) "sorted" (E.alt [ l1; l2 ]) (E.alt [ l2; l1 ])
+
+let test_paper_expression () =
+  (* (CV1(11)·CV3 + CV1(12)·CV3) +R (CV2·CV3) *)
+  let q1 = E.alt [ E.joint [ l1; l3 ]; E.joint [ l1'; l3 ] ] in
+  let q2 = E.joint [ l2; l3 ] in
+  let full = E.alt_r [ q1; q2 ] in
+  Alcotest.(check int) "four distinct leaves" 4 (E.size full);
+  let printed = E.to_string full in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "mentions CV1(11)" true (contains printed "CV1(11)")
+
+let test_pp_shape () =
+  let q1 = E.alt [ E.joint [ l1; l3 ]; E.joint [ l1'; l3 ] ] in
+  let q2 = E.joint [ l2; l3 ] in
+  let printed = E.to_string (E.alt_r [ q1; q2 ]) in
+  (* normalization sorts the +R children; accept either order *)
+  let expected_a = "(CV1(11)·CV3 + CV1(12)·CV3) +R (CV2·CV3)" in
+  let expected_b = "(CV2·CV3) +R (CV1(11)·CV3 + CV1(12)·CV3)" in
+  Alcotest.(check bool)
+    (Printf.sprintf "printed %s" printed)
+    true
+    (printed = expected_a || printed = expected_b)
+
+let test_leaves_and_size () =
+  let e = E.alt_r [ E.joint [ l1; l3 ]; E.joint [ l2; l3 ] ] in
+  Alcotest.(check int) "three distinct leaves" 3 (E.size e);
+  Alcotest.(check int) "node count" 7 (E.node_count (E.normalize e))
+
+let test_to_polynomial () =
+  let e = E.alt [ E.joint [ l1; l3 ]; E.joint [ l1'; l3 ] ] in
+  let p = E.to_polynomial e in
+  Alcotest.(check int) "two monomials" 2 (List.length (P.monomials p));
+  Alcotest.(check int) "degree 2" 2 (P.degree p);
+  Alcotest.(check (list string)) "tokens" [ "CV1(11)"; "CV1(12)"; "CV3" ]
+    (P.variables p)
+
+let suite =
+  [
+    Alcotest.test_case "flatten" `Quick test_normalize_flatten;
+    Alcotest.test_case "dedup" `Quick test_normalize_dedup;
+    Alcotest.test_case "singleton unwrap" `Quick test_normalize_singleton;
+    Alcotest.test_case "order insensitive" `Quick test_normalize_order_insensitive;
+    Alcotest.test_case "paper expression" `Quick test_paper_expression;
+    Alcotest.test_case "pp shape" `Quick test_pp_shape;
+    Alcotest.test_case "leaves/size" `Quick test_leaves_and_size;
+    Alcotest.test_case "to_polynomial" `Quick test_to_polynomial;
+  ]

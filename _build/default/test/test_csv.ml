@@ -1,0 +1,138 @@
+open Testutil
+module R = Dc_relational
+module Csv = Dc_relational.Csv_io
+
+let test_parse_line () =
+  Alcotest.(check (list string)) "plain" [ "a"; "b"; "c" ]
+    (Csv.parse_line "a,b,c");
+  Alcotest.(check (list string)) "quoted comma" [ "a,b"; "c" ]
+    (Csv.parse_line "\"a,b\",c");
+  Alcotest.(check (list string)) "escaped quote" [ "say \"hi\""; "x" ]
+    (Csv.parse_line "\"say \"\"hi\"\"\",x");
+  Alcotest.(check (list string)) "empty fields" [ ""; ""; "" ]
+    (Csv.parse_line ",,");
+  Alcotest.(check bool) "unterminated quote fails" true
+    (try
+       ignore (Csv.parse_line "\"abc");
+       false
+     with Failure _ -> true)
+
+let test_render_roundtrip_line () =
+  let fields = [ "plain"; "with,comma"; "with \"quote\""; "multi\nline" ] in
+  Alcotest.(check (list string)) "roundtrip" fields
+    (Csv.parse_line (Csv.render_line fields))
+
+let schema =
+  R.Schema.make "T"
+    [ R.Schema.attr ~ty:R.Value.TInt "A"; R.Schema.attr ~ty:R.Value.TStr "B" ]
+
+let test_relation_roundtrip () =
+  let rel =
+    R.Relation.of_list schema
+      [
+        tuple [ int 1; str "hello" ];
+        tuple [ int 2; str "with,comma" ];
+        tuple [ int 3; str "" ];
+      ]
+  in
+  let s = Csv.relation_to_string rel in
+  let rel' = Result.get_ok (Csv.relation_of_string schema s) in
+  Alcotest.(check bool) "roundtrip equal" true (R.Relation.equal rel rel')
+
+let test_header_optional () =
+  let with_header = "A,B\n1,x\n" and without = "1,x\n" in
+  let r1 = Result.get_ok (Csv.relation_of_string schema with_header) in
+  let r2 = Result.get_ok (Csv.relation_of_string schema without) in
+  Alcotest.(check bool) "same" true (R.Relation.equal r1 r2)
+
+let test_type_errors_reported () =
+  Alcotest.(check bool) "bad int" true
+    (Result.is_error (Csv.relation_of_string schema "notanint,x\n"));
+  Alcotest.(check bool) "arity" true
+    (Result.is_error (Csv.relation_of_string schema "1,x,excess\n"))
+
+let test_null_parsing () =
+  let rel = Result.get_ok (Csv.relation_of_string schema "NULL,x\n") in
+  check_tuples "null" [ tuple [ R.Value.Null; str "x" ] ] (R.Relation.tuples rel)
+
+let test_file_io () =
+  let rel = R.Relation.of_list schema [ tuple [ int 7; str "seven" ] ] in
+  let path = Filename.temp_file "datacite" ".csv" in
+  Csv.save_relation rel path;
+  let rel' = Result.get_ok (Csv.load_relation schema path) in
+  Sys.remove path;
+  Alcotest.(check bool) "file roundtrip" true (R.Relation.equal rel rel')
+
+let printable_string =
+  QCheck.string_gen_of_size (QCheck.Gen.int_range 0 12)
+    (QCheck.Gen.map Char.chr (QCheck.Gen.int_range 32 126))
+
+let prop_line_roundtrip =
+  qtest "render/parse line roundtrip"
+    QCheck.(list_of_size (Gen.int_range 1 5) printable_string)
+    (fun fields -> Csv.parse_line (Csv.render_line fields) = fields)
+
+let suite =
+  [
+    Alcotest.test_case "parse_line" `Quick test_parse_line;
+    Alcotest.test_case "render roundtrip" `Quick test_render_roundtrip_line;
+    Alcotest.test_case "relation roundtrip" `Quick test_relation_roundtrip;
+    Alcotest.test_case "header optional" `Quick test_header_optional;
+    Alcotest.test_case "type errors reported" `Quick test_type_errors_reported;
+    Alcotest.test_case "NULL parsing" `Quick test_null_parsing;
+    Alcotest.test_case "file io" `Quick test_file_io;
+    prop_line_roundtrip;
+  ]
+
+let test_multiline_field_roundtrip () =
+  (* quoted fields containing newlines survive save/load *)
+  let rel =
+    R.Relation.of_list schema
+      [ tuple [ int 1; str "line one\nline two" ]; tuple [ int 2; str "plain" ] ]
+  in
+  let s = Csv.relation_to_string rel in
+  let rel' = Result.get_ok (Csv.relation_of_string schema s) in
+  Alcotest.(check bool) "roundtrip with newline" true (R.Relation.equal rel rel')
+
+let test_parse_records () =
+  Alcotest.(check (list (list string))) "simple"
+    [ [ "a"; "b" ]; [ "c"; "d" ] ]
+    (Csv.parse_records "a,b\nc,d\n");
+  Alcotest.(check (list (list string))) "quoted newline"
+    [ [ "a\nb"; "c" ] ]
+    (Csv.parse_records "\"a\nb\",c\n");
+  Alcotest.(check (list (list string))) "crlf"
+    [ [ "a" ]; [ "b" ] ]
+    (Csv.parse_records "a\r\nb\r\n");
+  Alcotest.(check (list (list string))) "blank lines dropped"
+    [ [ "a" ] ]
+    (Csv.parse_records "\n\na\n\n");
+  Alcotest.(check (list (list string))) "trailing empty fields kept"
+    [ [ "a"; "" ] ]
+    (Csv.parse_records "a,\n")
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "multiline field roundtrip" `Quick test_multiline_field_roundtrip;
+      Alcotest.test_case "parse_records" `Quick test_parse_records;
+    ]
+
+let test_timestamp_column_roundtrip () =
+  let ts_schema =
+    R.Schema.make "Events"
+      [ R.Schema.attr ~ty:R.Value.TInt "ID";
+        R.Schema.attr ~ty:R.Value.TTimestamp "At" ]
+  in
+  let rel =
+    R.Relation.of_list ts_schema
+      [ tuple [ int 1; R.Value.Timestamp 1700000000 ] ]
+  in
+  let rel' =
+    Result.get_ok (Csv.relation_of_string ts_schema (Csv.relation_to_string rel))
+  in
+  Alcotest.(check bool) "timestamps survive CSV" true (R.Relation.equal rel rel')
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "timestamp column roundtrip" `Quick test_timestamp_column_roundtrip ]

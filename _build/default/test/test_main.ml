@@ -1,0 +1,37 @@
+let () =
+  Alcotest.run "datacite"
+    [
+      ("value", Test_value.suite);
+      ("schema+tuple", Test_schema_tuple.suite);
+      ("relation+database", Test_relation_db.suite);
+      ("csv", Test_csv.suite);
+      ("delta+version", Test_delta_version.suite);
+      ("stats", Test_stats.suite);
+      ("parser", Test_parser.suite);
+      ("subst+unify", Test_subst_unify.suite);
+      ("containment+minimize", Test_containment.suite);
+      ("eval", Test_eval.suite);
+      ("ucq", Test_ucq.suite);
+      ("chase+dependencies", Test_chase.suite);
+      ("sql", Test_sql.suite);
+      ("schema-check", Test_schema_check.suite);
+      ("provenance", Test_provenance.suite);
+      ("semiring-citation", Test_semiring_citation.suite);
+      ("rewriting", Test_rewriting.suite);
+      ("bucket+minicon", Test_bucket_minicon.suite);
+      ("cite-expr", Test_cite_expr.suite);
+      ("citation", Test_citation.suite);
+      ("policy+compute", Test_policy.suite);
+      ("engine", Test_engine.suite);
+      ("incremental", Test_incremental.suite);
+      ("fixity+coverage", Test_fixity_coverage.suite);
+      ("formats+spec", Test_fmt_spec.suite);
+      ("rdf", Test_rdf.suite);
+      ("xml", Test_xml.suite);
+      ("registry+ntriples", Test_registry_ntriples.suite);
+      ("page+mcr", Test_page_mcr.suite);
+      ("store+suggest", Test_store_suggest.suite);
+      ("persistence", Test_persistence.suite);
+      ("repl+defaults", Test_repl_defaults.suite);
+      ("integration", Test_integration.suite);
+    ]

@@ -1,0 +1,151 @@
+open Testutil
+module R = Dc_relational
+module C = Dc_citation
+module D = Dc_relational.Delta
+module Dio = Dc_relational.Delta_io
+
+let schemas = Dc_gtopdb.Schema_def.all_schemas
+
+let sample_delta () =
+  D.empty
+  |> (fun d ->
+       D.insert d "Family" (tuple [ int 31; str "Orexin"; str "O1" ]))
+  |> (fun d -> D.delete d "FamilyIntro" (tuple [ int 21; str "Dopamine intro" ]))
+  |> fun d -> D.insert d "Committee" (tuple [ int 31; str "Some, One" ])
+
+let test_delta_roundtrip () =
+  let d = sample_delta () in
+  let text = Dio.render d in
+  match Dio.parse ~schemas text with
+  | Error e -> Alcotest.fail e
+  | Ok d' ->
+      Alcotest.(check int) "same size" (D.size d) (D.size d');
+      (* applying both to the same db gives the same result *)
+      let db = paper_db () in
+      Alcotest.(check bool) "same effect" true
+        (R.Database.equal (D.apply db d) (D.apply db d'))
+
+let test_delta_parse_errors () =
+  Alcotest.(check bool) "unknown relation" true
+    (Result.is_error (Dio.parse ~schemas "+,Nope,1\n"));
+  Alcotest.(check bool) "bad arity" true
+    (Result.is_error (Dio.parse ~schemas "+,Family,1\n"));
+  Alcotest.(check bool) "bad sign" true
+    (Result.is_error (Dio.parse ~schemas "!,Family,1,a,b\n"));
+  Alcotest.(check bool) "bad type" true
+    (Result.is_error (Dio.parse ~schemas "+,Family,xx,a,b\n"));
+  (* comments and blanks fine *)
+  Alcotest.(check bool) "comments ok" true
+    (Result.is_ok (Dio.parse ~schemas "# nothing\n\n"))
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "datacite" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      let rec rm path =
+        if Sys.is_directory path then begin
+          Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+          Sys.rmdir path
+        end
+        else Sys.remove path
+      in
+      rm dir)
+    (fun () -> f dir)
+
+let test_save_load_database () =
+  with_temp_dir (fun dir ->
+      let db = paper_db () in
+      C.Spec.save_database db ~dir;
+      match C.Spec.load_database ~dir with
+      | Error e -> Alcotest.fail e
+      | Ok db' ->
+          Alcotest.(check bool) "roundtrip" true (R.Database.equal db db'))
+
+let test_schema_render_roundtrip () =
+  let text = C.Spec.render_schemas schemas in
+  match C.Spec.parse_schemas text with
+  | Error e -> Alcotest.fail e
+  | Ok schemas' ->
+      Alcotest.(check int) "same count" (List.length schemas)
+        (List.length schemas');
+      List.iter2
+        (fun a b ->
+          Alcotest.(check bool) (R.Schema.name a) true (R.Schema.equal a b))
+        schemas schemas'
+
+let test_store_lifecycle () =
+  with_temp_dir (fun dir ->
+      let store_dir = Filename.concat dir "store" in
+      let db = paper_db () in
+      (match C.Store_io.init ~dir:store_dir db with
+      | Error e -> Alcotest.fail e
+      | Ok () -> ());
+      (* double init rejected *)
+      Alcotest.(check bool) "double init" true
+        (Result.is_error (C.Store_io.init ~dir:store_dir db));
+      (* two commits *)
+      let d1 = D.insert D.empty "Family" (tuple [ int 31; str "Orexin"; str "O1" ]) in
+      let d2 =
+        D.delete D.empty "FamilyIntro" (tuple [ int 21; str "Dopamine intro" ])
+      in
+      Alcotest.(check (result int string)) "v1" (Ok 1)
+        (C.Store_io.commit ~dir:store_dir d1);
+      Alcotest.(check (result int string)) "v2" (Ok 2)
+        (C.Store_io.commit ~dir:store_dir d2);
+      (* reload and check every version *)
+      match C.Store_io.load ~dir:store_dir with
+      | Error e -> Alcotest.fail e
+      | Ok store ->
+          Alcotest.(check (list int)) "versions" [ 0; 1; 2 ]
+            (R.Version_store.versions store);
+          let v0 = R.Version_store.checkout_exn store 0 in
+          Alcotest.(check bool) "v0 = original" true (R.Database.equal v0 db);
+          let v2 = R.Version_store.checkout_exn store 2 in
+          Alcotest.(check bool) "v2 has orexin" true
+            (R.Relation.mem
+               (R.Database.relation_exn v2 "Family")
+               (tuple [ int 31; str "Orexin"; str "O1" ]));
+          Alcotest.(check bool) "v2 lost dopamine intro" false
+            (R.Relation.mem
+               (R.Database.relation_exn v2 "FamilyIntro")
+               (tuple [ int 21; str "Dopamine intro" ])))
+
+let test_store_fixity_after_reload () =
+  with_temp_dir (fun dir ->
+      let store_dir = Filename.concat dir "store" in
+      Result.get_ok (C.Store_io.init ~dir:store_dir (paper_db ()));
+      (* cite at v0 through a freshly loaded store *)
+      let store0 = Result.get_ok (C.Store_io.load ~dir:store_dir) in
+      let vc =
+        C.Fixity.cite ~store:store0 ~views:Dc_gtopdb.Paper_views.all
+          Dc_gtopdb.Paper_views.query_q
+      in
+      (* evolve on disk, reload in a separate "process" *)
+      let d =
+        D.delete D.empty "FamilyIntro" (tuple [ int 21; str "Dopamine intro" ])
+      in
+      ignore (Result.get_ok (C.Store_io.commit ~dir:store_dir d));
+      let store1 = Result.get_ok (C.Store_io.load ~dir:store_dir) in
+      Alcotest.(check bool) "old citation verifies after reload" true
+        (C.Fixity.verify ~store:store1 ~views:Dc_gtopdb.Paper_views.all vc))
+
+let test_bad_delta_rejected_by_commit () =
+  with_temp_dir (fun dir ->
+      let store_dir = Filename.concat dir "store" in
+      Result.get_ok (C.Store_io.init ~dir:store_dir (paper_db ()));
+      let bad = D.insert D.empty "Nope" (tuple [ int 1 ]) in
+      Alcotest.(check bool) "rejected" true
+        (Result.is_error (C.Store_io.commit ~dir:store_dir bad)))
+
+let suite =
+  [
+    Alcotest.test_case "delta roundtrip" `Quick test_delta_roundtrip;
+    Alcotest.test_case "delta parse errors" `Quick test_delta_parse_errors;
+    Alcotest.test_case "save/load database" `Quick test_save_load_database;
+    Alcotest.test_case "schema render roundtrip" `Quick test_schema_render_roundtrip;
+    Alcotest.test_case "store lifecycle" `Quick test_store_lifecycle;
+    Alcotest.test_case "fixity across reload" `Quick test_store_fixity_after_reload;
+    Alcotest.test_case "bad delta rejected" `Quick test_bad_delta_rejected_by_commit;
+  ]

@@ -1,0 +1,113 @@
+module Rdf = Dc_rdf
+module T = Dc_rdf.Triple
+module G = Dc_rdf.Graph
+module O = Dc_rdf.Ontology
+module C = Dc_citation
+
+let sample_graph () =
+  G.of_list
+    [
+      T.make "hela" T.rdf_type (T.iri "CellLine");
+      T.make "hela" "label" (T.lit_str "HeLa");
+      T.make "plasmid42" "hasInsert" (T.lit_str "GFP");
+      T.make "blast" T.rdf_type (T.iri "Software");
+    ]
+
+let sample_ontology () =
+  O.empty
+  |> (fun o -> O.add_subclass o ~sub:"CellLine" ~super:"Biomaterial")
+  |> (fun o -> O.add_subclass o ~sub:"Plasmid" ~super:"Biomaterial")
+  |> (fun o -> O.add_subclass o ~sub:"Biomaterial" ~super:"Resource")
+  |> (fun o -> O.add_subclass o ~sub:"Software" ~super:"Resource")
+  |> fun o -> O.add_domain o ~prop:"hasInsert" ~cls:"Plasmid"
+
+let test_graph_ops () =
+  let g = sample_graph () in
+  Alcotest.(check int) "size" 4 (G.size g);
+  Alcotest.(check int) "dedup" 4
+    (G.size (G.add g (T.make "hela" "label" (T.lit_str "HeLa"))));
+  Alcotest.(check int) "by subj" 2 (List.length (G.with_subj g "hela"));
+  Alcotest.(check int) "by pred" 2 (List.length (G.with_pred g T.rdf_type));
+  Alcotest.(check (list string)) "types_of" [ "CellLine" ] (G.types_of g "hela");
+  Alcotest.(check (list string)) "subjects by type" [ "blast" ]
+    (G.subjects g ~pred:T.rdf_type ~obj:(T.iri "Software"))
+
+let test_closure () =
+  let o = sample_ontology () in
+  Alcotest.(check (list string)) "superclasses"
+    [ "Biomaterial"; "CellLine"; "Resource" ]
+    (List.sort String.compare (O.superclasses o "CellLine"));
+  Alcotest.(check int) "depth 3" 3 (O.depth o)
+
+let test_inference () =
+  let o = sample_ontology () and g = sample_graph () in
+  Alcotest.(check (list string)) "asserted + closure"
+    [ "Biomaterial"; "CellLine"; "Resource" ]
+    (O.subject_classes o g "hela");
+  (* plasmid42 has no asserted type; domain reasoning finds Plasmid *)
+  Alcotest.(check (list string)) "domain inference"
+    [ "Biomaterial"; "Plasmid"; "Resource" ]
+    (O.subject_classes o g "plasmid42")
+
+let test_encode () =
+  let o = sample_ontology () and g = sample_graph () in
+  let db = Rdf.Class_view.encode o g in
+  Alcotest.(check int) "triples" 4
+    (Dc_relational.Relation.cardinality
+       (Dc_relational.Database.relation_exn db "Triple"));
+  Alcotest.(check int) "hela+plasmid in Biomaterial" 2
+    (Dc_relational.Relation.cardinality
+       (Dc_relational.Database.relation_exn db "Class_Biomaterial"))
+
+let test_cite_resource () =
+  let o = sample_ontology () and g = sample_graph () in
+  let views =
+    List.map
+      (fun cls -> Rdf.Class_view.class_citation_view ~cls ~blurb:("reg " ^ cls))
+      [ "CellLine"; "Plasmid"; "Software" ]
+  in
+  let result, cls = Rdf.Class_view.cite_resource o g ~views ~subject:"hela" in
+  Alcotest.(check (option string)) "CellLine chosen" (Some "CellLine") cls;
+  Alcotest.(check bool) "citations nonempty" true
+    (result.result_citations <> []);
+  Alcotest.(check bool) "V_CellLine cited" true
+    (List.exists
+       (fun c -> C.Citation.view c = "V_CellLine")
+       result.result_citations);
+  (* the inferred-only subject also resolves via its inferred class *)
+  let _, cls2 = Rdf.Class_view.cite_resource o g ~views ~subject:"plasmid42" in
+  Alcotest.(check (option string)) "Plasmid via reasoning" (Some "Plasmid") cls2
+
+let test_cite_resource_no_class () =
+  let o = O.empty and g = sample_graph () in
+  let result, cls =
+    Rdf.Class_view.cite_resource o g ~views:[] ~subject:"hela"
+  in
+  Alcotest.(check (option string)) "no class" None cls;
+  Alcotest.(check int) "no citation" 0
+    (C.Citation.Set.size result.result_citations);
+  Alcotest.(check bool) "but data returned" true (result.tuples <> [])
+
+let test_deeper_ontology_still_works () =
+  let o =
+    List.fold_left
+      (fun o i ->
+        O.add_subclass o
+          ~sub:(Printf.sprintf "C%d" i)
+          ~super:(Printf.sprintf "C%d" (i + 1)))
+      O.empty
+      (List.init 10 Fun.id)
+  in
+  Alcotest.(check int) "chain depth" 11 (O.depth o);
+  Alcotest.(check int) "closure size" 11 (List.length (O.superclasses o "C0"))
+
+let suite =
+  [
+    Alcotest.test_case "graph ops" `Quick test_graph_ops;
+    Alcotest.test_case "subclass closure" `Quick test_closure;
+    Alcotest.test_case "type inference" `Quick test_inference;
+    Alcotest.test_case "relational encoding" `Quick test_encode;
+    Alcotest.test_case "cite resource" `Quick test_cite_resource;
+    Alcotest.test_case "cite without class" `Quick test_cite_resource_no_class;
+    Alcotest.test_case "deep ontology" `Quick test_deeper_ontology_still_works;
+  ]

@@ -1,0 +1,125 @@
+open Testutil
+module R = Dc_relational
+
+let int_schema name cols =
+  R.Schema.make name
+    (List.map (fun c -> R.Schema.attr ~ty:R.Value.TInt c) cols)
+
+let test_insert_delete () =
+  let rel = R.Relation.empty (int_schema "T" [ "A"; "B" ]) in
+  let rel = R.Relation.insert rel (int_tuple [ 1; 2 ]) in
+  let rel = R.Relation.insert rel (int_tuple [ 1; 2 ]) in
+  Alcotest.(check int) "set semantics" 1 (R.Relation.cardinality rel);
+  let rel = R.Relation.insert rel (int_tuple [ 3; 4 ]) in
+  let rel = R.Relation.delete rel (int_tuple [ 1; 2 ]) in
+  check_tuples "remaining" [ int_tuple [ 3; 4 ] ] (R.Relation.tuples rel)
+
+let test_nonconforming_rejected () =
+  let rel = R.Relation.empty (int_schema "T" [ "A" ]) in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (R.Relation.insert rel (tuple [ str "x" ]));
+       false
+     with Invalid_argument _ -> true)
+
+let test_distinct_count () =
+  let rel =
+    R.Relation.of_list (int_schema "T" [ "A"; "B" ])
+      [ int_tuple [ 1; 1 ]; int_tuple [ 1; 2 ]; int_tuple [ 2; 2 ] ]
+  in
+  Alcotest.(check int) "distinct A" 2 (R.Relation.distinct_count rel [ 0 ]);
+  Alcotest.(check int) "distinct B" 2 (R.Relation.distinct_count rel [ 1 ]);
+  Alcotest.(check int) "distinct AB" 3 (R.Relation.distinct_count rel [ 0; 1 ])
+
+let test_diff () =
+  let s = int_schema "T" [ "A" ] in
+  let old_r = R.Relation.of_list s [ int_tuple [ 1 ]; int_tuple [ 2 ] ] in
+  let new_r = R.Relation.of_list s [ int_tuple [ 2 ]; int_tuple [ 3 ] ] in
+  let ins, del = R.Relation.diff old_r new_r in
+  check_tuples "inserted" [ int_tuple [ 3 ] ] ins;
+  check_tuples "deleted" [ int_tuple [ 1 ] ] del
+
+let test_index () =
+  let rel =
+    R.Relation.of_list (int_schema "T" [ "A"; "B" ])
+      [ int_tuple [ 1; 1 ]; int_tuple [ 1; 2 ]; int_tuple [ 2; 2 ] ]
+  in
+  let idx = R.Index.build rel [ 0 ] in
+  Alcotest.(check int) "two tuples under A=1" 2
+    (List.length (R.Index.lookup idx [ R.Value.Int 1 ]));
+  Alcotest.(check int) "none under A=9" 0
+    (List.length (R.Index.lookup idx [ R.Value.Int 9 ]));
+  Alcotest.(check int) "distinct keys" 2 (List.length (R.Index.keys idx))
+
+let test_database_ops () =
+  let db = rs_db () in
+  Alcotest.(check (list string)) "relations" [ "R"; "S" ]
+    (R.Database.relation_names db);
+  Alcotest.(check int) "total" 5 (R.Database.total_tuples db);
+  Alcotest.(check bool) "mem" true (R.Database.mem_relation db "R");
+  let db' = R.Database.delete db "R" (int_tuple [ 1; 2 ]) in
+  Alcotest.(check int) "after delete" 4 (R.Database.total_tuples db');
+  Alcotest.(check bool) "original untouched (persistent)" true
+    (R.Database.total_tuples db = 5)
+
+let test_database_errors () =
+  let db = rs_db () in
+  Alcotest.(check bool) "unknown relation raises Not_found" true
+    (try
+       ignore (R.Database.insert db "Nope" (int_tuple [ 1 ]));
+       false
+     with Not_found -> true);
+  Alcotest.(check bool) "duplicate create rejected" true
+    (try
+       ignore
+         (R.Database.create_relation db (int_schema "R" [ "A"; "B" ]));
+       false
+     with Invalid_argument _ -> true)
+
+let test_database_equal () =
+  let db1 = rs_db () and db2 = rs_db () in
+  Alcotest.(check bool) "equal" true (R.Database.equal db1 db2);
+  let db3 = R.Database.insert db2 "R" (int_tuple [ 9; 9 ]) in
+  Alcotest.(check bool) "not equal" false (R.Database.equal db1 db3)
+
+let prop_insert_mem =
+  qtest "insert then mem"
+    QCheck.(list_of_size (Gen.int_range 0 10) (pair small_signed_int small_signed_int))
+    (fun pairs ->
+      let rel =
+        R.Relation.of_list (int_schema "T" [ "A"; "B" ])
+          (List.map (fun (a, b) -> int_tuple [ a; b ]) pairs)
+      in
+      List.for_all (fun (a, b) -> R.Relation.mem rel (int_tuple [ a; b ])) pairs)
+
+let prop_diff_apply =
+  qtest "diff reconstructs the target"
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 0 8) small_nat)
+        (list_of_size (Gen.int_range 0 8) small_nat))
+    (fun (xs, ys) ->
+      let s = int_schema "T" [ "A" ] in
+      let old_r = R.Relation.of_list s (List.map (fun x -> int_tuple [ x ]) xs) in
+      let new_r = R.Relation.of_list s (List.map (fun y -> int_tuple [ y ]) ys) in
+      let ins, del = R.Relation.diff old_r new_r in
+      let rebuilt =
+        R.Relation.insert_list
+          (List.fold_left R.Relation.delete old_r del)
+          ins
+      in
+      R.Relation.equal rebuilt new_r)
+
+let suite =
+  [
+    Alcotest.test_case "insert/delete set semantics" `Quick test_insert_delete;
+    Alcotest.test_case "nonconforming rejected" `Quick test_nonconforming_rejected;
+    Alcotest.test_case "distinct_count" `Quick test_distinct_count;
+    Alcotest.test_case "diff" `Quick test_diff;
+    Alcotest.test_case "hash index" `Quick test_index;
+    Alcotest.test_case "database ops" `Quick test_database_ops;
+    Alcotest.test_case "database errors" `Quick test_database_errors;
+    Alcotest.test_case "database equality" `Quick test_database_equal;
+    prop_insert_mem;
+    prop_diff_apply;
+  ]

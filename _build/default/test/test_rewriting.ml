@@ -1,0 +1,251 @@
+open Testutil
+module Cq = Dc_cq
+module Rw = Dc_rewriting
+module V = Dc_rewriting.View
+
+let q = parse
+
+let paper_views () =
+  V.Set.of_list
+    [
+      V.of_query (q "lambda FID. V1(FID,FName,Desc) :- Family(FID,FName,Desc)");
+      V.of_query (q "V2(FID,FName,Desc) :- Family(FID,FName,Desc)");
+      V.of_query (q "V3(FID,Text) :- FamilyIntro(FID,Text)");
+    ]
+
+let view_names r =
+  List.sort_uniq String.compare (Cq.Query.predicates r)
+
+let test_view_set () =
+  let vs = paper_views () in
+  Alcotest.(check int) "three views" 3 (V.Set.size vs);
+  Alcotest.(check int) "two over Family" 2
+    (List.length (V.Set.with_predicate vs "Family"));
+  Alcotest.(check bool) "dup rejected" true
+    (Result.is_error
+       (V.Set.add vs (V.of_query (q "V1(X) :- Family(X,Y,Z)"))))
+
+let test_expansion () =
+  let vs = paper_views () in
+  let r = q "Q(FName) :- V1(FID,FName,Desc), V3(FID,Text)" in
+  match Rw.Expansion.expand vs r with
+  | None -> Alcotest.fail "expansion failed"
+  | Some e ->
+      Alcotest.(check bool) "expansion over base preds" true
+        (Cq.Query.predicates e = [ "Family"; "FamilyIntro" ]);
+      Alcotest.(check bool) "equivalent to Q" true
+        (Cq.Containment.equivalent e Dc_gtopdb.Paper_views.query_q)
+
+let test_expansion_joins_on_head () =
+  (* Passing the same variable twice must equate the view's head vars. *)
+  let vs = V.Set.of_list [ V.of_query (q "V(X,Y) :- R(X,Y)") ] in
+  let r = q "Q(A) :- V(A,A)" in
+  match Rw.Expansion.expand vs r with
+  | None -> Alcotest.fail "expansion failed"
+  | Some e -> (
+      match Cq.Query.body e with
+      | [ atom ] ->
+          let args = Cq.Atom.args atom in
+          Alcotest.(check bool) "same var twice" true
+            (List.length args = 2 && Cq.Term.equal (List.nth args 0) (List.nth args 1))
+      | _ -> Alcotest.fail "one atom expected")
+
+let test_expansion_constant_conflict () =
+  (* V(X,X) called as V(1,2) can never match. *)
+  let vs = V.Set.of_list [ V.of_query (q "V(X,X) :- R(X,X)") ] in
+  let r = q "Q(A) :- V(A,B), A=1, B=2" in
+  Alcotest.(check bool) "conflict detected" true
+    (Rw.Expansion.expand vs r = None)
+
+let test_paper_rewritings () =
+  let vs = paper_views () in
+  let rewritings, stats =
+    Rw.Rewrite.rewritings vs Dc_gtopdb.Paper_views.query_q
+  in
+  Alcotest.(check int) "exactly two rewritings" 2 (List.length rewritings);
+  Alcotest.(check bool) "no truncation" false stats.truncated;
+  let names = List.map view_names rewritings in
+  Alcotest.(check bool) "V1+V3 present" true
+    (List.mem [ "V1"; "V3" ] names);
+  Alcotest.(check bool) "V2+V3 present" true
+    (List.mem [ "V2"; "V3" ] names);
+  (* each rewriting verifies *)
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "verified" true
+        (Rw.Expansion.is_equivalent_rewriting vs Dc_gtopdb.Paper_views.query_q r))
+    rewritings
+
+let test_strategies_agree_on_paper_example () =
+  let vs = paper_views () in
+  let result strategy =
+    let rs, _ =
+      Rw.Rewrite.rewritings ~strategy vs Dc_gtopdb.Paper_views.query_q
+    in
+    List.sort_uniq compare (List.map view_names rs)
+  in
+  let minicon = result Rw.Rewrite.Minicon in
+  Alcotest.(check bool) "bucket = minicon" true (result Rw.Rewrite.Bucket = minicon);
+  Alcotest.(check bool) "naive = minicon" true (result Rw.Rewrite.Naive = minicon)
+
+let test_candidate_counts_ordered () =
+  (* more synthetic views -> naive generates at least as many candidates
+     as bucket, bucket at least as many as minicon *)
+  let views =
+    V.Set.of_list
+      (List.map
+         (fun cv -> Dc_citation.Citation_view.view cv)
+         (Dc_gtopdb.Views_catalog.synthetic ~count:8))
+  in
+  let query = q "Q(FID,FName) :- Family(FID,FName,Desc)" in
+  let count strategy =
+    (snd (Rw.Rewrite.rewritings ~strategy views query)).candidates
+  in
+  let naive = count Rw.Rewrite.Naive in
+  let bucket = count Rw.Rewrite.Bucket in
+  let minicon = count Rw.Rewrite.Minicon in
+  Alcotest.(check bool) "naive >= bucket" true (naive >= bucket);
+  Alcotest.(check bool) "bucket >= minicon" true (bucket >= minicon);
+  Alcotest.(check bool) "minicon > 0" true (minicon > 0)
+
+let test_no_rewriting () =
+  let vs = paper_views () in
+  let rs, _ = Rw.Rewrite.rewritings vs (q "Q(FID,PName) :- Committee(FID,PName)") in
+  Alcotest.(check int) "uncovered" 0 (List.length rs)
+
+let test_partial_rewriting () =
+  let vs = paper_views () in
+  let query = q "Q(FName,PName) :- Family(FID,FName,Desc), Committee(FID,PName)" in
+  let rs, _ = Rw.Rewrite.rewritings ~partial:true vs query in
+  Alcotest.(check bool) "partial rewriting exists" true (rs <> []);
+  Alcotest.(check bool) "some rewriting uses a view and the base atom" true
+    (List.exists
+       (fun r ->
+         let preds = view_names r in
+         List.mem "Committee" preds
+         && List.exists (fun p -> String.length p > 0 && p.[0] = 'V') preds)
+       rs)
+
+let test_existential_join_via_single_view () =
+  (* Q(X) :- R(X,Y), S(Y,X); V covers both atoms through its own
+     existential — only a single-occurrence (MiniCon-style) cover works. *)
+  let vs = V.Set.of_list [ V.of_query (q "V(X) :- R(X,Y), S(Y,X)") ] in
+  let query = q "Q(A) :- R(A,B), S(B,A)" in
+  let rs, _ = Rw.Rewrite.rewritings vs query in
+  Alcotest.(check int) "found via closure" 1 (List.length rs);
+  match rs with
+  | [ r ] -> Alcotest.(check int) "single atom" 1 (List.length (Cq.Query.body r))
+  | _ -> ()
+
+let test_minicon_beats_bucket_on_hidden_join () =
+  (* A view hiding the join variable can only cover both subgoals with
+     one occurrence; MiniCon's closure finds it, the bucket product is
+     incomplete there. *)
+  let vs =
+    V.Set.of_list
+      [
+        V.of_query
+          (q "VH(FName,PName) :- Family(FID,FName,Desc), Committee(FID,PName)");
+      ]
+  in
+  let query = q "Q(FName,PName) :- Family(FID,FName,Desc), Committee(FID,PName)" in
+  let minicon, _ = Rw.Rewrite.rewritings ~strategy:Rw.Rewrite.Minicon vs query in
+  let bucket, _ = Rw.Rewrite.rewritings ~strategy:Rw.Rewrite.Bucket vs query in
+  Alcotest.(check int) "minicon finds it" 1 (List.length minicon);
+  Alcotest.(check int) "bucket misses it" 0 (List.length bucket)
+
+let test_view_with_constant () =
+  let vs = V.Set.of_list [ V.of_query (q "V(X) :- R(X,3)") ] in
+  let rs, _ = Rw.Rewrite.rewritings vs (q "Q(A) :- R(A,3)") in
+  Alcotest.(check int) "constant view matches" 1 (List.length rs);
+  let rs2, _ = Rw.Rewrite.rewritings vs (q "Q(A) :- R(A,4)") in
+  Alcotest.(check int) "different constant rejected" 0 (List.length rs2)
+
+let test_minimize_rewriting () =
+  let vs = paper_views () in
+  let r = q "Qr(FName) :- V2(FID,FName,Desc), V2(FID2,FName,Desc2), V3(FID,Text)" in
+  let m =
+    Rw.Rewrite.minimize_rewriting vs Dc_gtopdb.Paper_views.query_q r
+  in
+  Alcotest.(check int) "redundant copy dropped" 2 (List.length (Cq.Query.body m))
+
+let test_cost_model () =
+  let db = paper_db () in
+  let vs = paper_views () in
+  let r1 = q "Q1(FName) :- V1(FID,FName,Desc), V3(FID,Text)" in
+  let r2 = q "Q2(FName) :- V2(FID,FName,Desc), V3(FID,Text)" in
+  (* |Family| = 4 distinct FIDs, so Q1's citation costs 4+1, Q2's 1+1. *)
+  Alcotest.(check int) "Q1 size" 5 (Rw.Cost.citation_size db vs r1);
+  Alcotest.(check int) "Q2 size" 2 (Rw.Cost.citation_size db vs r2);
+  (match Rw.Cost.choose_min_size db vs [ r1; r2 ] with
+  | Some best -> Alcotest.(check string) "Q2 wins" "Q2" (Cq.Query.name best)
+  | None -> Alcotest.fail "no choice");
+  (* exact counts agree here *)
+  Alcotest.(check int) "exact Q1" 5 (Rw.Cost.citation_size ~exact:true db vs r1)
+
+let test_cost_scales_with_db () =
+  let vs = paper_views () in
+  let small = Dc_gtopdb.Generator.generate ~seed:1 ~config:(Dc_gtopdb.Generator.scale Dc_gtopdb.Generator.default_config ~families:10) () in
+  let large = Dc_gtopdb.Generator.generate ~seed:1 ~config:(Dc_gtopdb.Generator.scale Dc_gtopdb.Generator.default_config ~families:100) () in
+  let r1 = q "Q1(FName) :- V1(FID,FName,Desc), V3(FID,Text)" in
+  let r2 = q "Q2(FName) :- V2(FID,FName,Desc), V3(FID,Text)" in
+  Alcotest.(check bool) "parameterized grows" true
+    (Rw.Cost.citation_size large vs r1 > Rw.Cost.citation_size small vs r1);
+  Alcotest.(check int) "unparameterized constant"
+    (Rw.Cost.citation_size small vs r2)
+    (Rw.Cost.citation_size large vs r2)
+
+(* Soundness, property-tested: the rewriting evaluated over materialized
+   views returns exactly the query's answer over the base database. *)
+let prop_rewriting_soundness =
+  qtest "rewritings compute the original query" QCheck.(int_bound 200)
+    (fun seed ->
+      let db =
+        Dc_gtopdb.Generator.generate ~seed
+          ~config:(Dc_gtopdb.Generator.scale Dc_gtopdb.Generator.default_config ~families:10)
+          ()
+      in
+      let cviews = Dc_gtopdb.Views_catalog.all in
+      let vs =
+        Dc_citation.Citation_view.Set.view_set
+          (Dc_citation.Citation_view.Set.of_list cviews)
+      in
+      let view_db =
+        List.fold_left
+          (fun acc cv ->
+            Dc_relational.Database.add_relation acc
+              (Cq.Eval.result db (Dc_citation.Citation_view.definition cv)))
+          db cviews
+      in
+      List.for_all
+        (fun query ->
+          let rs, _ = Rw.Rewrite.rewritings vs query in
+          let expected =
+            List.sort Dc_relational.Tuple.compare (eval_tuples db query)
+          in
+          List.for_all
+            (fun r ->
+              List.sort Dc_relational.Tuple.compare (eval_tuples view_db r)
+              = expected)
+            rs)
+        (Dc_gtopdb.Workload.generate ~seed ~count:3))
+
+let suite =
+  [
+    Alcotest.test_case "view set" `Quick test_view_set;
+    Alcotest.test_case "expansion" `Quick test_expansion;
+    Alcotest.test_case "expansion equates head vars" `Quick test_expansion_joins_on_head;
+    Alcotest.test_case "expansion constant conflict" `Quick test_expansion_constant_conflict;
+    Alcotest.test_case "paper rewritings" `Quick test_paper_rewritings;
+    Alcotest.test_case "strategies agree" `Quick test_strategies_agree_on_paper_example;
+    Alcotest.test_case "candidate counts ordered" `Quick test_candidate_counts_ordered;
+    Alcotest.test_case "uncovered query" `Quick test_no_rewriting;
+    Alcotest.test_case "partial rewriting" `Quick test_partial_rewriting;
+    Alcotest.test_case "existential join single view" `Quick test_existential_join_via_single_view;
+    Alcotest.test_case "minicon beats bucket (hidden join)" `Quick test_minicon_beats_bucket_on_hidden_join;
+    Alcotest.test_case "view with constant" `Quick test_view_with_constant;
+    Alcotest.test_case "minimize rewriting" `Quick test_minimize_rewriting;
+    Alcotest.test_case "cost model (paper sizes)" `Quick test_cost_model;
+    Alcotest.test_case "cost scales with db" `Quick test_cost_scales_with_db;
+    prop_rewriting_soundness;
+  ]

@@ -1,0 +1,60 @@
+open Testutil
+module R = Dc_relational
+module S = Dc_relational.Stats
+
+let test_cardinality_and_distinct () =
+  let stats = S.create () in
+  let db = rs_db () in
+  Alcotest.(check int) "card R" 3 (S.cardinality stats db "R");
+  Alcotest.(check int) "distinct R.0" 3 (S.distinct stats db "R" 0);
+  Alcotest.(check int) "distinct R.1" 2 (S.distinct stats db "R" 1);
+  Alcotest.(check int) "unknown relation" 0 (S.cardinality stats db "Nope");
+  Alcotest.(check bool) "bad column" true
+    (try
+       ignore (S.distinct stats db "R" 9);
+       false
+     with Invalid_argument _ -> true)
+
+let test_self_validation () =
+  let stats = S.create () in
+  let db = rs_db () in
+  Alcotest.(check int) "before" 2 (S.distinct stats db "R" 1);
+  (* the same stats object sees the updated database *)
+  let db' = R.Database.insert db "R" (int_tuple [ 9; 9 ]) in
+  Alcotest.(check int) "after insert" 3 (S.distinct stats db' "R" 1);
+  (* and still answers correctly for the old snapshot value *)
+  Alcotest.(check int) "old snapshot" 2 (S.distinct stats db "R" 1)
+
+let test_selectivity_and_join () =
+  let stats = S.create () in
+  let db = rs_db () in
+  Alcotest.(check bool) "selectivity R.1 = 1/2" true
+    (abs_float (S.selectivity stats db "R" 1 -. 0.5) < 1e-9);
+  (* |R|*|S| / max(d_R.B, d_S.A) = 3*2/2 = 3 *)
+  Alcotest.(check bool) "join estimate" true
+    (abs_float (S.join_cardinality stats db ("R", 1) ("S", 0) -. 3.0) < 1e-9);
+  Alcotest.(check bool) "empty relation selectivity 1" true
+    (S.selectivity stats db "Nope" 0 = 1.0)
+
+let test_cost_uses_stats () =
+  (* explicit stats object produces the same estimates as the default *)
+  let db = paper_db () in
+  let views =
+    Dc_rewriting.View.Set.of_list
+      (List.map Dc_citation.Citation_view.view Dc_gtopdb.Paper_views.all)
+  in
+  let q1 =
+    parse "Q1(FName) :- V1(FID,FName,Desc), V3(FID,Text)"
+  in
+  let stats = S.create () in
+  Alcotest.(check int) "same size with explicit stats"
+    (Dc_rewriting.Cost.citation_size db views q1)
+    (Dc_rewriting.Cost.citation_size ~stats db views q1)
+
+let suite =
+  [
+    Alcotest.test_case "cardinality/distinct" `Quick test_cardinality_and_distinct;
+    Alcotest.test_case "self-validation" `Quick test_self_validation;
+    Alcotest.test_case "selectivity/join" `Quick test_selectivity_and_join;
+    Alcotest.test_case "cost uses stats" `Quick test_cost_uses_stats;
+  ]

@@ -1,0 +1,105 @@
+open Testutil
+module V = Dc_relational.Value
+
+let test_type_of () =
+  Alcotest.(check bool) "int" true (V.type_of (V.Int 3) = V.TInt);
+  Alcotest.(check bool) "str" true (V.type_of (V.Str "x") = V.TStr);
+  Alcotest.(check bool) "null is any" true (V.type_of V.Null = V.TAny)
+
+let test_conforms () =
+  Alcotest.(check bool) "int conforms int" true (V.conforms (V.Int 1) V.TInt);
+  Alcotest.(check bool) "int not str" false (V.conforms (V.Int 1) V.TStr);
+  Alcotest.(check bool) "null conforms everything" true (V.conforms V.Null V.TInt);
+  Alcotest.(check bool) "any accepts str" true (V.conforms (V.Str "s") V.TAny);
+  Alcotest.(check bool) "timestamp" true (V.conforms (V.Timestamp 7) V.TTimestamp)
+
+let test_compare_cross_type () =
+  (* distinct types are ordered by rank, consistently *)
+  Alcotest.(check bool) "null smallest" true (V.compare V.Null (V.Bool false) < 0);
+  Alcotest.(check bool) "bool < int" true (V.compare (V.Bool true) (V.Int 0) < 0);
+  Alcotest.(check bool) "int < str" true (V.compare (V.Int 99) (V.Str "") < 0);
+  Alcotest.(check int) "equal ints" 0 (V.compare (V.Int 5) (V.Int 5))
+
+let test_of_string () =
+  Alcotest.(check value_t) "int" (V.Int 42) (Result.get_ok (V.of_string V.TInt "42"));
+  Alcotest.(check value_t) "negative int" (V.Int (-7))
+    (Result.get_ok (V.of_string V.TInt "-7"));
+  Alcotest.(check value_t) "float" (V.Float 2.5)
+    (Result.get_ok (V.of_string V.TFloat "2.5"));
+  Alcotest.(check value_t) "bool" (V.Bool true)
+    (Result.get_ok (V.of_string V.TBool "True"));
+  Alcotest.(check value_t) "null literal" V.Null
+    (Result.get_ok (V.of_string V.TInt "null"));
+  Alcotest.(check value_t) "string keeps case" (V.Str "Abc")
+    (Result.get_ok (V.of_string V.TStr "Abc"));
+  Alcotest.(check bool) "bad int rejected" true
+    (Result.is_error (V.of_string V.TInt "xyz"))
+
+let test_ty_of_string () =
+  Alcotest.(check bool) "int" true (V.ty_of_string "int" = Ok V.TInt);
+  Alcotest.(check bool) "str alias" true (V.ty_of_string "str" = Ok V.TStr);
+  Alcotest.(check bool) "unknown" true (Result.is_error (V.ty_of_string "wibble"))
+
+let test_to_string () =
+  Alcotest.(check string) "str unquoted" "hi" (V.to_string (V.Str "hi"));
+  Alcotest.(check string) "int" "3" (V.to_string (V.Int 3));
+  Alcotest.(check string) "null" "NULL" (V.to_string V.Null)
+
+let arb_value =
+  QCheck.(
+    oneof
+      [
+        map (fun i -> V.Int i) small_signed_int;
+        map (fun s -> V.Str s) (string_of_size (Gen.return 5));
+        map (fun b -> V.Bool b) bool;
+        always V.Null;
+      ])
+
+let prop_compare_total =
+  qtest "compare is a total order (antisym+refl)" QCheck.(pair arb_value arb_value)
+    (fun (a, b) ->
+      let c1 = V.compare a b and c2 = V.compare b a in
+      (c1 = 0) = (c2 = 0) && (c1 > 0) = (c2 < 0) && V.compare a a = 0)
+
+let prop_int_roundtrip =
+  qtest "int of_string/to_string roundtrip" QCheck.small_signed_int (fun i ->
+      V.of_string V.TInt (V.to_string (V.Int i)) = Ok (V.Int i))
+
+let prop_equal_consistent =
+  qtest "equal agrees with compare" QCheck.(pair arb_value arb_value)
+    (fun (a, b) -> V.equal a b = (V.compare a b = 0))
+
+let suite =
+  [
+    Alcotest.test_case "type_of" `Quick test_type_of;
+    Alcotest.test_case "conforms" `Quick test_conforms;
+    Alcotest.test_case "compare across types" `Quick test_compare_cross_type;
+    Alcotest.test_case "of_string" `Quick test_of_string;
+    Alcotest.test_case "ty_of_string" `Quick test_ty_of_string;
+    Alcotest.test_case "to_string" `Quick test_to_string;
+    prop_compare_total;
+    prop_int_roundtrip;
+    prop_equal_consistent;
+  ]
+
+let test_timestamp_roundtrip () =
+  Alcotest.(check value_t) "parse" (V.Timestamp 1700000000)
+    (Result.get_ok (V.of_string V.TTimestamp "1700000000"));
+  Alcotest.(check string) "print" "@17" (V.to_string (V.Timestamp 17));
+  Alcotest.(check bool) "ordering" true
+    (V.compare (V.Timestamp 1) (V.Timestamp 2) < 0);
+  Alcotest.(check bool) "ty parse" true
+    (V.ty_of_string "timestamp" = Ok V.TTimestamp)
+
+let test_float_parse () =
+  Alcotest.(check value_t) "float" (V.Float 1.5)
+    (Result.get_ok (V.of_string V.TFloat "1.5"));
+  Alcotest.(check bool) "nan-ish rejected" true
+    (Result.is_error (V.of_string V.TFloat "abc"))
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "timestamp" `Quick test_timestamp_roundtrip;
+      Alcotest.test_case "float parse" `Quick test_float_parse;
+    ]

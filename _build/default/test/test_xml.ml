@@ -1,0 +1,161 @@
+module X = Dc_xml
+module N = Dc_xml.Node
+module P = Dc_xml.Xml_parser
+module SV = Dc_xml.Subtree_view
+module C = Dc_citation
+module R = Dc_relational
+
+let sample_doc =
+  "<?xml version=\"1.0\"?>\n\
+   <!-- GtoPdb-like export -->\n\
+   <database name=\"GtoPdb\">\n\
+  \  <family id=\"11\" name=\"Calcitonin\">\n\
+  \    <intro>1st &amp; foremost</intro>\n\
+  \    <member name=\"Debbie Hay\"/>\n\
+  \    <member name=\"David Poyner\"/>\n\
+  \  </family>\n\
+  \  <family id=\"12\" name=\"Calcitonin\">\n\
+  \    <intro>2nd</intro>\n\
+  \  </family>\n\
+   </database>"
+
+let parsed () = P.parse_exn sample_doc
+
+let test_parse_structure () =
+  let doc = parsed () in
+  Alcotest.(check (option string)) "root" (Some "database") (N.tag doc);
+  Alcotest.(check (option string)) "root attr" (Some "GtoPdb")
+    (N.attr doc "name");
+  Alcotest.(check int) "two families" 2 (List.length (N.by_tag "family" doc));
+  Alcotest.(check int) "two members total" 2
+    (List.length (N.by_tag "member" doc));
+  let intro = List.hd (N.by_tag "intro" doc) in
+  Alcotest.(check string) "entity decoded" "1st & foremost"
+    (N.text_content intro)
+
+let test_parse_errors () =
+  let err s = Result.is_error (P.parse s) in
+  Alcotest.(check bool) "mismatched close" true (err "<a><b></a></b>");
+  Alcotest.(check bool) "unterminated" true (err "<a><b>");
+  Alcotest.(check bool) "trailing junk" true (err "<a/><b/>");
+  Alcotest.(check bool) "unknown entity" true (err "<a>&wibble;</a>");
+  Alcotest.(check bool) "bad attr" true (err "<a x=unquoted/>")
+
+let test_roundtrip () =
+  let doc = parsed () in
+  match P.parse (N.to_string doc) with
+  | Error e -> Alcotest.fail e
+  | Ok doc' ->
+      Alcotest.(check string) "stable serialization" (N.to_string doc)
+        (N.to_string doc')
+
+let test_char_references () =
+  let doc = P.parse_exn "<a>x&#65;y&#x42;z</a>" in
+  Alcotest.(check string) "decoded" "xAyBz" (N.text_content doc)
+
+let test_encode () =
+  let db = SV.encode (parsed ()) in
+  (* database, 2 family, 2 intro, 2 member = 7 elements *)
+  Alcotest.(check int) "elements" 7
+    (R.Relation.cardinality (R.Database.relation_exn db "Element"));
+  Alcotest.(check int) "attrs" 7
+    (R.Relation.cardinality (R.Database.relation_exn db "Attr"));
+  Alcotest.(check int) "text nodes" 2
+    (R.Relation.cardinality (R.Database.relation_exn db "Content"));
+  Alcotest.(check int) "two family elements" 2
+    (List.length (SV.element_id db ~tag:"family"))
+
+let test_cite_element () =
+  let db = SV.encode (parsed ()) in
+  let views =
+    [
+      SV.tag_citation_view ~tag:"family" ~blurb:"GtoPdb XML export 2026";
+      SV.tag_citation_view ~tag:"member" ~blurb:"GtoPdb XML export 2026";
+    ]
+  in
+  match SV.element_id db ~tag:"family" with
+  | [] -> Alcotest.fail "no family elements"
+  | eid :: _ -> (
+      match SV.cite_element db ~views ~eid with
+      | Error e -> Alcotest.fail e
+      | Ok (result, tag) ->
+          Alcotest.(check string) "tag used" "family" tag;
+          Alcotest.(check bool) "rewriting found" true
+            (result.rewritings <> []);
+          Alcotest.(check bool) "cited via the family view" true
+            (List.exists
+               (fun c -> C.Citation.view c = "V_family")
+               result.result_citations);
+          (* the citation's snippets carry the element's own attributes *)
+          let values =
+            List.concat_map
+              (fun c ->
+                List.concat_map
+                  (fun s -> List.map snd (C.Snippet.fields s))
+                  (C.Citation.snippets c))
+              result.result_citations
+          in
+          Alcotest.(check bool) "attrs cited" true
+            (List.mem (R.Value.Str "Calcitonin") values))
+
+let test_cite_unknown_element () =
+  let db = SV.encode (parsed ()) in
+  Alcotest.(check bool) "unknown id" true
+    (Result.is_error (SV.cite_element db ~views:[] ~eid:999))
+
+let suite =
+  [
+    Alcotest.test_case "parse structure" `Quick test_parse_structure;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "serialization roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "character references" `Quick test_char_references;
+    Alcotest.test_case "relational encoding" `Quick test_encode;
+    Alcotest.test_case "cite element" `Quick test_cite_element;
+    Alcotest.test_case "unknown element" `Quick test_cite_unknown_element;
+  ]
+
+let test_path () =
+  let doc = parsed () in
+  Alcotest.(check int) "family members" 2
+    (List.length (N.path "database/family/member" doc));
+  Alcotest.(check int) "wildcard" 4
+    (List.length (N.path "database/family/*" doc));
+  Alcotest.(check int) "root mismatch" 0
+    (List.length (N.path "wrong/family" doc));
+  Alcotest.(check int) "root only" 1 (List.length (N.path "database" doc))
+
+(* random trees roundtrip through serialize/parse *)
+let gen_tree =
+  QCheck.Gen.(
+    sized_size (int_range 1 12) (fun size ->
+        fix
+          (fun self size ->
+            let tag = map (fun i -> Printf.sprintf "t%d" (i mod 5)) nat in
+            let attr =
+              map
+                (fun (i, s) -> (Printf.sprintf "a%d" (i mod 3), "v<&\"" ^ s))
+                (pair nat (string_size ~gen:(char_range 'a' 'z') (return 3)))
+            in
+            if size <= 1 then
+              map2 (fun t attrs -> Dc_xml.Node.element ~attrs t []) tag
+                (list_size (int_range 0 2) attr)
+            else
+              map3
+                (fun t attrs children -> Dc_xml.Node.element ~attrs t children)
+                tag
+                (list_size (int_range 0 2) attr)
+                (list_size (int_range 0 3) (self (size / 2))))
+          size))
+
+let prop_xml_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"xml serialize/parse roundtrip" ~count:100
+       (QCheck.make gen_tree)
+       (fun tree ->
+         match P.parse (N.to_string tree) with
+         | Error _ -> false
+         | Ok tree' -> N.to_string tree = N.to_string tree'))
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "path navigation" `Quick test_path; prop_xml_roundtrip ]

@@ -1,0 +1,50 @@
+(* Shared helpers for the test suites. *)
+
+module R = Dc_relational
+module Cq = Dc_cq
+
+let parse = Cq.Parser.parse_query_exn
+
+let tuple values = R.Tuple.make values
+
+let int_tuple ints = R.Tuple.make (List.map R.Value.int ints)
+
+let str s = R.Value.Str s
+let int i = R.Value.Int i
+
+(* A tiny two-relation database used across CQ tests:
+   R = {(1,2),(2,3),(3,3)}   S = {(2,"a"),(3,"b")} *)
+let rs_db () =
+  let r_schema =
+    R.Schema.make "R" [ R.Schema.attr ~ty:R.Value.TInt "A"; R.Schema.attr ~ty:R.Value.TInt "B" ]
+  in
+  let s_schema =
+    R.Schema.make "S" [ R.Schema.attr ~ty:R.Value.TInt "A"; R.Schema.attr ~ty:R.Value.TStr "C" ]
+  in
+  R.Database.empty
+  |> (fun db -> R.Database.create_relation db r_schema)
+  |> (fun db -> R.Database.create_relation db s_schema)
+  |> (fun db -> R.Database.insert_list db "R" [ int_tuple [ 1; 2 ]; int_tuple [ 2; 3 ]; int_tuple [ 3; 3 ] ])
+  |> fun db ->
+  R.Database.insert_list db "S"
+    [ tuple [ int 2; str "a" ]; tuple [ int 3; str "b" ] ]
+
+let paper_db () = Dc_gtopdb.Paper_views.example_database ()
+
+(* Alcotest testables *)
+let query = Alcotest.testable Cq.Query.pp Cq.Query.equal_syntactic
+let tuple_t = Alcotest.testable R.Tuple.pp R.Tuple.equal
+let value_t = Alcotest.testable R.Value.pp R.Value.equal
+
+let cite_expr =
+  Alcotest.testable Dc_citation.Cite_expr.pp Dc_citation.Cite_expr.equal
+
+let sorted_tuples rel = R.Relation.tuples rel
+
+let check_tuples msg expected actual =
+  Alcotest.(check (list tuple_t)) msg expected (List.sort R.Tuple.compare actual)
+
+(* Evaluate a query and return sorted output tuples. *)
+let eval_tuples db q = List.map fst (Cq.Eval.run db q)
+
+let qtest name gen prop = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count:200 gen prop)
