@@ -110,6 +110,7 @@ let () =
       ("E9", Experiments.e9);
       ("E10", Experiments.e10);
       ("E11", Experiments.e11);
+      ("E12", Experiments.e12);
     ]
   in
   let to_run =
@@ -120,5 +121,10 @@ let () =
           List.exists (fun a -> String.uppercase_ascii a = name) selected)
         experiments
   in
-  if not micro_only then List.iter (fun (_, f) -> f ()) to_run;
+  if not micro_only then begin
+    List.iter (fun (_, f) -> f ()) to_run;
+    (* machine-readable aggregate of every engine's counters/timers *)
+    Printf.printf "\nMETRICS %s\n"
+      (Dc_citation.Metrics.to_json Dc_citation.Metrics.default)
+  end;
   if micro_only || ((not quick) && selected = []) then run_micro ()

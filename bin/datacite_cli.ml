@@ -93,8 +93,15 @@ let parse_format f =
 
 (* cite *)
 
+let stats_arg =
+  let doc =
+    "Dump engine metrics (cache hit rates, rewriting counters, timers) to \
+     stderr after the result."
+  in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
 let cite_cmd =
-  let run data views query format joint alt agg rpolicy partial sql =
+  let run data views query format joint alt agg rpolicy partial sql stats =
     let db = load_db data in
     let cvs = load_views views in
     let policy = build_policy joint alt agg rpolicy in
@@ -125,7 +132,9 @@ let cite_cmd =
           result.tuples;
         print_endline
           (C.Fmt_citation.render_result (parse_format format) ~query
-             result.result_citations)
+             result.result_citations);
+        if stats then
+          Format.eprintf "%a@?" C.Metrics.pp (C.Engine.metrics engine)
   in
   let term =
     Term.(
@@ -137,7 +146,8 @@ let cite_cmd =
       $ Arg.(
           value & flag
           & info [ "sql" ]
-              ~doc:"Interpret QUERY as SQL (SELECT-FROM-WHERE) instead of Datalog."))
+              ~doc:"Interpret QUERY as SQL (SELECT-FROM-WHERE) instead of Datalog.")
+      $ stats_arg)
   in
   Cmd.v (Cmd.info "cite" ~doc:"Generate the citation for a query.") term
 

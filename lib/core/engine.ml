@@ -8,6 +8,29 @@ module Log = (val Logs.src_log log_src)
 
 type selection = [ `All | `Min_estimated_size | `Min_exact_size ]
 
+(* A memoized rewriting search result.  [canonical] is the minimized
+   (core) form of the stripped query the plan was computed for: two
+   queries share a plan iff their cores are equivalent, which holds iff
+   the queries are.  The maximally-contained fallback is filled in
+   lazily on first use. *)
+type plan = {
+  canonical : Cq.Query.t;
+  plan_rewritings : Cq.Query.t list;
+  plan_stats : Rw.Rewrite.stats;
+  mutable plan_contained : (Cq.Query.t list * Rw.Rewrite.stats) option;
+}
+
+(* Two-level lookup: a cheap canonical-rendering key catches repeats of
+   the same (or alpha-renamed) query with zero containment work; the
+   sorted-predicate-multiset buckets catch any other equivalent form
+   via Chandra-Merlin equivalence of the cores.  Plans depend only on
+   the view set, never on the data, so the cache is shared by [refresh]
+   and [with_databases] copies of the engine. *)
+type plan_cache = {
+  by_render : (string, plan) Hashtbl.t;
+  by_preds : (string, plan list ref) Hashtbl.t;
+}
+
 type t = {
   base : R.Database.t;
   cviews : Citation_view.Set.t;
@@ -19,6 +42,8 @@ type t = {
   fallback_contained : bool;
   leaf_cache : (string, Citation.t) Hashtbl.t;
   eval_cache : Cq.Eval.cache;
+  plans : plan_cache;
+  metrics : Metrics.t;
 }
 
 let materialize ?cache base cviews =
@@ -48,29 +73,50 @@ let create ?(policy = Policy.default) ?(selection = `Min_estimated_size)
     cview_list;
   let cviews = Citation_view.Set.of_list cview_list in
   let eval_cache = Cq.Eval.make_cache () in
+  let metrics = Metrics.create () in
+  let view_db =
+    Metrics.with_sink metrics (fun () ->
+        Metrics.record_time "materialize" (fun () ->
+            materialize ~cache:eval_cache base cviews))
+  in
   {
     base;
     cviews;
     views = Citation_view.Set.view_set cviews;
-    view_db = materialize ~cache:eval_cache base cviews;
+    view_db;
     policy;
     selection;
     partial;
     fallback_contained;
     leaf_cache = Hashtbl.create 64;
     eval_cache;
+    (* the plan cache is keyed by the view set, which is fixed at
+       creation: a fresh engine (possibly with different views) always
+       starts cold *)
+    plans = { by_render = Hashtbl.create 16; by_preds = Hashtbl.create 16 };
+    metrics;
   }
 
 let database e = e.base
 let citation_views e = e.cviews
 let policy e = e.policy
 let view_database e = e.view_db
+let eval_cache e = e.eval_cache
+let metrics e = e.metrics
 
+(* [refresh] and [with_databases] change only the data, never the view
+   set, so the plan cache (rewritings depend on views alone) and the
+   eval cache (entries self-invalidate on relation identity) are kept;
+   only the leaf cache — concrete citations computed from the data —
+   must be dropped. *)
 let refresh e base =
   {
     e with
     base;
-    view_db = materialize ~cache:e.eval_cache base e.cviews;
+    view_db =
+      Metrics.with_sink e.metrics (fun () ->
+          Metrics.record_time "materialize" (fun () ->
+              materialize ~cache:e.eval_cache base e.cviews));
     leaf_cache = Hashtbl.create 64;
   }
 
@@ -94,16 +140,25 @@ type result = {
   stats : Rw.Rewrite.stats;
 }
 
+(* Params are sorted by name so two leaves naming the same valuation in
+   different construction orders share one cache entry (and one
+   resolution). *)
 let leaf_key (l : Cite_expr.leaf) =
   Printf.sprintf "%s(%s)" l.view
     (String.concat ","
-       (List.map (fun (n, v) -> n ^ "=" ^ R.Value.to_string v) l.params))
+       (List.map
+          (fun (n, v) -> n ^ "=" ^ R.Value.to_string v)
+          (List.sort (fun (a, _) (b, _) -> String.compare a b) l.params)))
 
 let resolve_leaf e (l : Cite_expr.leaf) =
+  Metrics.with_sink e.metrics @@ fun () ->
   let k = leaf_key l in
   match Hashtbl.find_opt e.leaf_cache k with
-  | Some c -> c
+  | Some c ->
+      Metrics.record Metrics.Key.leaf_cache_hits;
+      c
   | None ->
+      Metrics.record Metrics.Key.leaf_cache_misses;
       let cv = Citation_view.Set.find_exn e.cviews l.view in
       let c = Citation_view.cite ~cache:e.eval_cache cv e.base l.params in
       Hashtbl.add e.leaf_cache k c;
@@ -126,8 +181,98 @@ let eval_db e =
 
 let merged_database = eval_db
 
+(* A cheap, containment-free canonical rendering used as the plan
+   cache's fast path: group body atoms by predicate (stable, so the
+   reorder is independent of variable names only across alpha-renaming,
+   not across arbitrary body permutations), then rename every variable
+   to x<i> in order of first occurrence.  Alpha-renamed repeats of a
+   query therefore render identically; any other equivalent form falls
+   through to the core-equivalence scan below. *)
+let canonical_render q =
+  let body =
+    List.stable_sort
+      (fun a b -> String.compare (Cq.Atom.pred a) (Cq.Atom.pred b))
+      (Cq.Query.body q)
+  in
+  let q = Cq.Query.make_exn ~name:"q" ~head:(Cq.Query.head q) ~body () in
+  let subst =
+    Cq.Subst.of_list
+      (List.mapi
+         (fun i v -> (v, Cq.Term.Var (Printf.sprintf "x%d" i)))
+         (Cq.Query.all_vars q))
+  in
+  Cq.Query.to_string (Cq.Query.apply_subst subst q)
+
+let pred_multiset q =
+  String.concat ","
+    (List.sort String.compare (List.map Cq.Atom.pred (Cq.Query.body q)))
+
+(* The memoized rewriting search.  Equivalent queries (same answers on
+   every database) have interchangeable rewriting sets, so a hit is
+   keyed up to Chandra-Merlin equivalence: first the canonical
+   rendering, then — because equivalent minimal queries are isomorphic,
+   hence share their predicate multiset — an equivalence scan within
+   the core's predicate-multiset bucket. *)
+let plan_for e query =
+  let stripped = Cq.Query.strip_params query in
+  let render = canonical_render stripped in
+  match Hashtbl.find_opt e.plans.by_render render with
+  | Some plan ->
+      Metrics.record Metrics.Key.plan_cache_hits;
+      plan
+  | None -> (
+      let minimized = Cq.Minimize.minimize stripped in
+      let pkey = pred_multiset minimized in
+      let bucket =
+        match Hashtbl.find_opt e.plans.by_preds pkey with
+        | Some b -> b
+        | None ->
+            let b = ref [] in
+            Hashtbl.add e.plans.by_preds pkey b;
+            b
+      in
+      match
+        List.find_opt
+          (fun p -> Cq.Containment.equivalent p.canonical minimized)
+          !bucket
+      with
+      | Some plan ->
+          Metrics.record Metrics.Key.plan_cache_hits;
+          Hashtbl.replace e.plans.by_render render plan;
+          plan
+      | None ->
+          Metrics.record Metrics.Key.plan_cache_misses;
+          let rewritings, stats =
+            Metrics.record_time "rewrite" (fun () ->
+                Rw.Rewrite.rewritings ~partial:e.partial e.views stripped)
+          in
+          let plan =
+            {
+              canonical = minimized;
+              plan_rewritings = rewritings;
+              plan_stats = stats;
+              plan_contained = None;
+            }
+          in
+          bucket := plan :: !bucket;
+          Hashtbl.replace e.plans.by_render render plan;
+          plan)
+
+let contained_for e plan query =
+  match plan.plan_contained with
+  | Some r -> r
+  | None ->
+      let r =
+        Metrics.record_time "rewrite" (fun () ->
+            Rw.Rewrite.maximally_contained e.views query)
+      in
+      plan.plan_contained <- Some r;
+      r
+
 let cite e query =
-  let rewritings, stats = Rw.Rewrite.rewritings ~partial:e.partial e.views query in
+  Metrics.with_sink e.metrics @@ fun () ->
+  let plan = plan_for e query in
+  let rewritings = plan.plan_rewritings and stats = plan.plan_stats in
   let selected = select e rewritings in
   Log.debug (fun m ->
       m "cite %s: %d candidates, %d rewritings, %d selected"
@@ -140,12 +285,13 @@ let cite e query =
   let selected_or_self, complete =
     if selected <> [] then (selected, true)
     else if e.fallback_contained then
-      match Rw.Rewrite.maximally_contained e.views query with
+      match contained_for e plan query with
       | [], _ -> ([ Cq.Query.strip_params query ], true)
       | disjuncts, _ -> (disjuncts, false)
     else ([ Cq.Query.strip_params query ], true)
   in
   let per_tuple =
+    Metrics.record_time "eval" @@ fun () ->
     List.fold_left
       (fun m rw ->
         List.fold_left

@@ -44,12 +44,26 @@ val citation_views : t -> Citation_view.Set.t
 val policy : t -> Policy.t
 val view_database : t -> Dc_relational.Database.t
 
+val eval_cache : t -> Dc_cq.Eval.cache
+(** The engine's shared index cache.  Entries self-invalidate against
+    the current relation values, so callers maintaining the database
+    incrementally ({!Incremental}) can keep reusing it across deltas. *)
+
+val metrics : t -> Metrics.t
+(** This engine's metrics handle: plan/leaf/eval cache hit counters,
+    rewriting enumeration counters and wall-clock timers for work done
+    through this engine.  {!Metrics.default} aggregates across all
+    engines. *)
+
 val merged_database : t -> Dc_relational.Database.t
 (** Base relations and materialized views in one database — what
     rewritings (including partial ones) are evaluated against. *)
 
 val refresh : t -> Dc_relational.Database.t -> t
-(** The same engine over an updated database (views rematerialized). *)
+(** The same engine over an updated database (views rematerialized).
+    The rewriting-plan cache is kept: plans depend only on the view
+    set, which [refresh] never changes.  Only {!create} — where the
+    view set is chosen — starts with a cold plan cache. *)
 
 val with_databases :
   t -> base:Dc_relational.Database.t -> view_db:Dc_relational.Database.t -> t
@@ -57,7 +71,7 @@ val with_databases :
     that [view_db] is the correct materialization of the views over
     [base].  {!Incremental} maintains the extents itself and uses this
     to avoid the full rematerialization [refresh] performs.  The leaf
-    cache is cleared. *)
+    cache is cleared; the plan cache (views unchanged) is kept warm. *)
 
 type tuple_citation = {
   tuple : Dc_relational.Tuple.t;

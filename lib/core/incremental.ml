@@ -106,7 +106,11 @@ let pin_head q head_tuple =
     (build Cq.Subst.empty (Cq.Query.head q) 0)
 
 let apply_delta reg delta =
-  let eval_cache = Cq.Eval.make_cache () in
+  (* Reuse the engine's index cache rather than building a throwaway
+     one per delta: entries are validated against the current relation
+     value inside [Eval.index_for], so indexes over unchanged relations
+     survive across deltas and stale ones rebuild transparently. *)
+  let eval_cache = Engine.eval_cache reg.engine in
   let old_base = Engine.database reg.engine in
   let new_base = R.Delta.apply old_base delta in
   let old_view_db = Engine.view_database reg.engine in

@@ -1,0 +1,153 @@
+module Cq = Dc_cq
+module Rw = Dc_rewriting
+
+module Key = struct
+  let eval_index_builds = "eval_index_builds"
+  let eval_cache_hits = "eval_cache_hits"
+  let eval_cache_misses = "eval_cache_misses"
+  let leaf_cache_hits = "leaf_cache_hits"
+  let leaf_cache_misses = "leaf_cache_misses"
+  let plan_cache_hits = "plan_cache_hits"
+  let plan_cache_misses = "plan_cache_misses"
+  let rewriting_candidates = "rewriting_candidates"
+  let rewriting_verified = "rewriting_verified"
+  let rewriting_kept = "rewriting_kept"
+  let containment_checks = "containment_checks"
+
+  let all =
+    [
+      plan_cache_hits;
+      plan_cache_misses;
+      leaf_cache_hits;
+      leaf_cache_misses;
+      eval_cache_hits;
+      eval_cache_misses;
+      eval_index_builds;
+      rewriting_candidates;
+      rewriting_verified;
+      rewriting_kept;
+      containment_checks;
+    ]
+end
+
+type timer = { mutable total_s : float; mutable calls : int }
+
+(* Ordered assoc lists: the registry is tiny and iterated for display
+   far more often than extended with unknown names. *)
+type t = {
+  mutable cs : (string * int ref) list;
+  mutable ts : (string * timer) list;
+}
+
+let create () = { cs = List.map (fun k -> (k, ref 0)) Key.all; ts = [] }
+let default = create ()
+
+let counter_ref t name =
+  match List.assoc_opt name t.cs with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      t.cs <- t.cs @ [ (name, r) ];
+      r
+
+let incr ?(by = 1) t name =
+  let r = counter_ref t name in
+  r := !r + by
+
+let count t name = match List.assoc_opt name t.cs with Some r -> !r | None -> 0
+let counters t = List.map (fun (k, r) -> (k, !r)) t.cs
+
+let timer_ref t name =
+  match List.assoc_opt name t.ts with
+  | Some tm -> tm
+  | None ->
+      let tm = { total_s = 0.; calls = 0 } in
+      t.ts <- t.ts @ [ (name, tm) ];
+      tm
+
+let add_time t name s =
+  let tm = timer_ref t name in
+  tm.total_s <- tm.total_s +. s;
+  tm.calls <- tm.calls + 1
+
+let timer t name =
+  match List.assoc_opt name t.ts with
+  | Some tm -> (tm.total_s, tm.calls)
+  | None -> (0., 0)
+
+let timers t = List.map (fun (k, tm) -> (k, (tm.total_s, tm.calls))) t.ts
+
+let reset t =
+  List.iter (fun (_, r) -> r := 0) t.cs;
+  List.iter
+    (fun (_, tm) ->
+      tm.total_s <- 0.;
+      tm.calls <- 0)
+    t.ts
+
+(* Dynamically scoped extra sinks; [targets] dedups by physical
+   equality so nested [with_sink] on the same registry (engine calls
+   re-entering engine calls) never double-counts. *)
+let sinks : t list ref = ref []
+
+let targets () =
+  List.fold_left
+    (fun acc m -> if List.memq m acc then acc else m :: acc)
+    [ default ] !sinks
+
+let with_sink m f =
+  sinks := m :: !sinks;
+  Fun.protect ~finally:(fun () -> sinks := List.tl !sinks) f
+
+let record ?by name = List.iter (fun m -> incr ?by m name) (targets ())
+
+let record_time name f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      let dt = Unix.gettimeofday () -. t0 in
+      List.iter (fun m -> add_time m name dt) (targets ()))
+    f
+
+let pp ppf t =
+  List.iter (fun (k, v) -> Format.fprintf ppf "%-22s = %d@." k v) (counters t);
+  List.iter
+    (fun (k, (total, calls)) ->
+      Format.fprintf ppf "%-22s : %.3f ms / %d call%s@." k (total *. 1000.)
+        calls
+        (if calls = 1 then "" else "s"))
+    (timers t)
+
+let to_json t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "{\"counters\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "%S:%d" k v))
+    (counters t);
+  Buffer.add_string buf "},\"timers\":{";
+  List.iteri
+    (fun i (k, (total, calls)) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "%S:{\"ms\":%.3f,\"calls\":%d}" k (total *. 1000.)
+           calls))
+    (timers t);
+  Buffer.add_string buf "}}";
+  Buffer.contents buf
+
+(* Route the lower layers' instrumentation hooks into the registries.
+   Runs once when dc_citation is linked. *)
+let () =
+  Cq.Eval.on_event :=
+    (function
+     | Cq.Eval.Index_build -> record Key.eval_index_builds
+     | Cq.Eval.Cache_hit -> record Key.eval_cache_hits
+     | Cq.Eval.Cache_miss -> record Key.eval_cache_misses);
+  Cq.Containment.on_check := (fun () -> record Key.containment_checks);
+  Rw.Rewrite.on_event :=
+    (function
+     | Rw.Rewrite.Candidate -> record Key.rewriting_candidates
+     | Rw.Rewrite.Verified -> record Key.rewriting_verified
+     | Rw.Rewrite.Kept -> record Key.rewriting_kept)

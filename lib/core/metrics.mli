@@ -1,0 +1,76 @@
+(** Engine observability: monotonic counters and wall-clock timers.
+
+    A registry ({!t}) holds named counters and timers.  The process-wide
+    {!default} registry aggregates everything; each {!Engine.t} also
+    carries its own handle so cache behaviour can be inspected per
+    engine.  Counter increments fired from the lower layers
+    ({!Dc_cq.Eval} index-cache events, {!Dc_cq.Containment} checks,
+    {!Dc_rewriting.Rewrite} enumeration events) are routed here through
+    observer hooks installed when this module is linked, and reach
+    [default] plus every registry pushed with {!with_sink}.
+
+    Counters are monotonic: nothing but {!reset} ever decreases one. *)
+
+type t
+
+val create : unit -> t
+(** A fresh registry with every well-known counter present at 0. *)
+
+val default : t
+(** The process-wide registry.  Every recorded event lands here. *)
+
+(** The well-known counter names. *)
+module Key : sig
+  val eval_index_builds : string
+  val eval_cache_hits : string
+  val eval_cache_misses : string
+  val leaf_cache_hits : string
+  val leaf_cache_misses : string
+  val plan_cache_hits : string
+  val plan_cache_misses : string
+  val rewriting_candidates : string
+  val rewriting_verified : string
+  val rewriting_kept : string
+  val containment_checks : string
+
+  val all : string list
+  (** Every key above, in canonical display order. *)
+end
+
+val incr : ?by:int -> t -> string -> unit
+val count : t -> string -> int
+(** [0] for a counter never incremented. *)
+
+val counters : t -> (string * int) list
+(** All counters in display order (well-known first). *)
+
+val add_time : t -> string -> float -> unit
+(** Accumulate [seconds] under a timer name and bump its call count. *)
+
+val timer : t -> string -> float * int
+(** [(total_seconds, calls)]; [(0., 0)] for an unknown timer. *)
+
+val timers : t -> (string * (float * int)) list
+
+val reset : t -> unit
+(** Zero every counter and timer (the only non-monotonic operation). *)
+
+val with_sink : t -> (unit -> 'a) -> 'a
+(** Route events recorded during the callback into [t] as well as
+    {!default}.  Nests; re-pushing a registry already in scope does not
+    double-count. *)
+
+val record : ?by:int -> string -> unit
+(** Increment a counter on {!default} and every active sink. *)
+
+val record_time : string -> (unit -> 'a) -> 'a
+(** Time the callback (wall clock) and charge it to {!default} and
+    every active sink, even when it raises. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable dump: one [name = value] line per counter, then one
+    [name: total ms / calls] line per timer. *)
+
+val to_json : t -> string
+(** [{"counters":{...},"timers":{"name":{"ms":…,"calls":…},…}}] — a
+    single line, stable key order, suitable for BENCH logs. *)

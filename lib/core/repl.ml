@@ -10,6 +10,10 @@ type state = {
   selection : Engine.selection;
   bibliography : Bibliography.t;
   last : (Engine.t * Engine.result) option;
+  engine : Engine.t option;
+      (* cached across queries so repeated citations hit the engine's
+         rewriting-plan cache; dropped whenever the database, views,
+         policy or selection change *)
 }
 
 let initial =
@@ -22,6 +26,7 @@ let initial =
     selection = `Min_estimated_size;
     bibliography = Bibliography.create ();
     last = None;
+    engine = None;
   }
 
 let help_text =
@@ -39,6 +44,7 @@ let help_text =
   \  why <v1> [v2 ...]    explain the last result's tuple (v1,...)\n\
   \  page <view> [k=v]    render a web-page view with its citation\n\
   \  bib                  show the bibliography of cited queries\n\
+  \  :stats               engine metrics (cache hit rates, timers)\n\
   \  help                 this text"
 
 (* finalize the pending view definition, if any *)
@@ -55,6 +61,7 @@ let flush_pending st =
               views = st.views @ [ cv ];
               pending_view = None;
               pending_cites = [];
+              engine = None;
             })
 
 let with_db st f =
@@ -62,9 +69,19 @@ let with_db st f =
   | None -> (st, "no database loaded (use: load data <dir>)")
   | Some db -> f db
 
+(* Reuse the cached engine when nothing it depends on has changed —
+   every command mutating db/views/policy/selection resets [engine] to
+   [None] — so repeated queries keep its plan and leaf caches warm. *)
 let build_engine st db =
-  try Ok (Engine.create ~policy:st.policy ~selection:st.selection db st.views)
-  with Invalid_argument e -> Error e
+  match st.engine with
+  | Some engine -> Ok (st, engine)
+  | None -> (
+      try
+        let engine =
+          Engine.create ~policy:st.policy ~selection:st.selection db st.views
+        in
+        Ok ({ st with engine = Some engine }, engine)
+      with Invalid_argument e -> Error e)
 
 let show_result st (result : Engine.result) =
   let buf = Buffer.create 512 in
@@ -91,7 +108,7 @@ let cite_query st q =
       with_db st (fun db ->
           match build_engine st db with
           | Error e -> (st, e)
-          | Ok engine -> (
+          | Ok (st, engine) -> (
               try
                 let result = Engine.cite engine q in
                 ( { st with last = Some (engine, result) },
@@ -163,7 +180,7 @@ let eval st line =
         | "data" -> (
             match Spec.load_database ~dir:arg with
             | Ok db ->
-                ( { st with db = Some db },
+                ( { st with db = Some db; engine = None },
                   Printf.sprintf "loaded %d relations, %d tuples"
                     (List.length (R.Database.relation_names db))
                     (R.Database.total_tuples db) )
@@ -176,7 +193,7 @@ let eval st line =
               close_in ic;
               match Spec.parse_views contents with
               | Ok vs ->
-                  ( { st with views = st.views @ vs },
+                  ( { st with views = st.views @ vs; engine = None },
                     Printf.sprintf "loaded %d views" (List.length vs) )
               | Error e -> (st, e))
         | _ -> (st, "usage: load data <dir> | load views <file>"))
@@ -184,7 +201,7 @@ let eval st line =
         with_db st (fun db ->
             let blurb = if rest = "" then "this database" else rest in
             let vs = Defaults.views_for_database ~blurb db in
-            ( { st with views = st.views @ vs },
+            ( { st with views = st.views @ vs; engine = None },
               Printf.sprintf "installed %d default views: %s" (List.length vs)
                 (String.concat ", " (List.map Citation_view.name vs)) ))
     | "view" -> (
@@ -237,7 +254,9 @@ let eval st line =
               (List.filter (fun s -> String.trim s <> "") settings)
           in
           (match result with
-          | Ok st' -> (st', "policy: " ^ Policy.to_string st'.policy)
+          | Ok st' ->
+              ( { st' with engine = None },
+                "policy: " ^ Policy.to_string st'.policy )
           | Error e -> (st, e))
     | "q" -> (
         match Cq.Parser.parse_query rest with
@@ -256,7 +275,7 @@ let eval st line =
             with_db st (fun db ->
                 match build_engine st db with
                 | Error e -> (st, e)
-                | Ok engine -> (
+                | Ok (st, engine) -> (
                     let view, kvs = split_first rest in
                     let params =
                       List.filter_map parse_kv (String.split_on_char ' ' kvs)
@@ -282,6 +301,13 @@ let eval st line =
         ( st,
           if Bibliography.entries st.bibliography = [] then "bibliography empty"
           else Bibliography.render st.bibliography )
+    | "stats" | ":stats" ->
+        let m =
+          match st.engine with
+          | Some engine -> Engine.metrics engine
+          | None -> Metrics.default
+        in
+        (st, String.trim (Format.asprintf "%a" Metrics.pp m))
     | other -> (st, Printf.sprintf "unknown command %s (try: help)" other)
 
 let eval_script st lines =

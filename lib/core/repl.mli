@@ -21,7 +21,12 @@
       sql <SELECT ...>           cite a SQL query
       page <view> [k=v ...]      render a web-page view
       bib                        show the bibliography of cited queries
-    v} *)
+      :stats                     engine metrics (cache hit rates, timers)
+    v}
+
+    The engine is cached across queries and rebuilt only when the
+    database, views, policy or selection change, so repeated citations
+    hit the engine's rewriting-plan cache. *)
 
 type state
 

@@ -1,7 +1,15 @@
 module R = Dc_relational
 module Smap = Map.Make (String)
+module Sset = Set.Make (String)
 
 exception Unknown_relation of string
+
+type event = Index_build | Cache_hit | Cache_miss
+
+(* Instrumentation hook: fired on every index-cache interaction.  The
+   default is a no-op; Dc_citation.Metrics routes events into its
+   counter registries. *)
+let on_event : (event -> unit) ref = ref (fun _ -> ())
 
 module Binding = struct
   type t = R.Value.t Smap.t
@@ -16,7 +24,9 @@ module Binding = struct
   let to_list b = Smap.bindings b
   let of_list l = List.fold_left (fun b (v, x) -> Smap.add v x b) empty l
   let values b vars = List.map (find_exn b) vars
-  let restrict b vars = Smap.filter (fun v _ -> List.mem v vars) b
+  let restrict b vars =
+    let keep = Sset.of_list vars in
+    Smap.filter (fun v _ -> Sset.mem v keep) b
   let compare = Smap.compare R.Value.compare
   let equal a b = compare a b = 0
 
@@ -47,8 +57,12 @@ let relation_of db pred =
 let index_for (cache : cache) db pred positions =
   let rel = relation_of db pred in
   match Hashtbl.find_opt cache (pred, positions) with
-  | Some (rel0, idx) when rel0 == rel -> idx
+  | Some (rel0, idx) when rel0 == rel ->
+      !on_event Cache_hit;
+      idx
   | _ ->
+      !on_event Cache_miss;
+      !on_event Index_build;
       let idx = R.Index.build rel positions in
       Hashtbl.replace cache (pred, positions) (rel, idx);
       idx

@@ -12,6 +12,14 @@
 
 exception Unknown_relation of string
 
+type event = Index_build | Cache_hit | Cache_miss
+
+val on_event : (event -> unit) ref
+(** Instrumentation hook, fired on every index-cache lookup
+    ([Cache_hit], or [Cache_miss] followed by [Index_build]).  A no-op
+    by default; {!Dc_citation.Metrics} installs a counter sink.  Not
+    intended for application code. *)
+
 module Binding : sig
   (** A binding: total valuation of a query's variables. *)
 

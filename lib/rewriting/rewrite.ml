@@ -9,6 +9,13 @@ type stats = {
   truncated : bool;
 }
 
+type event = Candidate | Verified | Kept
+
+(* Instrumentation hook: fired once per candidate generated, candidate
+   verified and rewriting kept, across all three enumerators.  A no-op
+   by default; Dc_citation.Metrics installs a counter sink. *)
+let on_event : (event -> unit) ref = ref (fun _ -> ())
+
 exception Budget_exhausted
 
 (* Enumerate entry combinations for each strategy, invoking [consume] on
@@ -110,6 +117,7 @@ let rewritings ?(strategy = Minicon) ?(partial = false)
   in
   let consume atoms =
     incr candidates;
+    !on_event Candidate;
     if !candidates > max_candidates then begin
       truncated := true;
       raise Budget_exhausted
@@ -119,6 +127,7 @@ let rewritings ?(strategy = Minicon) ?(partial = false)
     | Some cand ->
         if Expansion.is_equivalent_rewriting views query cand then begin
           incr verified;
+          !on_event Verified;
           let cand = minimize_rewriting views query cand in
           let key = pred_key cand in
           let group = Option.value ~default:[] (Hashtbl.find_opt by_preds key) in
@@ -127,7 +136,10 @@ let rewritings ?(strategy = Minicon) ?(partial = false)
           in
           if not duplicate then begin
             Hashtbl.replace by_preds key (cand :: group);
-            kept := !kept @ [ cand ]
+            (* [kept] is held in reverse enumeration order; one final
+               [List.rev] restores it (O(n) total, not O(n²) appends). *)
+            kept := cand :: !kept;
+            !on_event Kept
           end
         end
   in
@@ -137,7 +149,7 @@ let rewritings ?(strategy = Minicon) ?(partial = false)
     List.mapi
       (fun i r ->
         Cq.Query.with_name (Printf.sprintf "%s_rw%d" (Cq.Query.name query) i) r)
-      !kept
+      (List.rev !kept)
   in
   ( kept,
     {
@@ -180,6 +192,7 @@ let rewritings_under_deps ?(max_extra_atoms = 1) ?(max_candidates = 100_000)
   let kept = ref [] in
   let consume atoms =
     incr candidates;
+    !on_event Candidate;
     if !candidates > max_candidates then begin
       truncated := true;
       raise Budget_exhausted
@@ -189,11 +202,16 @@ let rewritings_under_deps ?(max_extra_atoms = 1) ?(max_candidates = 100_000)
     | Some cand ->
         if Expansion.is_equivalent_rewriting ~deps views query cand then begin
           incr verified;
+          !on_event Verified;
           let cand = minimize_rewriting ~deps views query cand in
           let duplicate =
             List.exists (fun r -> Cq.Containment.equivalent r cand) !kept
           in
-          if not duplicate then kept := !kept @ [ cand ]
+          if not duplicate then begin
+            (* reverse order, restored by the final [List.rev] *)
+            kept := cand :: !kept;
+            !on_event Kept
+          end
         end
   in
   let entries = Array.of_list entries in
@@ -216,7 +234,7 @@ let rewritings_under_deps ?(max_extra_atoms = 1) ?(max_candidates = 100_000)
         Cq.Query.with_name
           (Printf.sprintf "%s_drw%d" (Cq.Query.name query) i)
           r)
-      !kept
+      (List.rev !kept)
   in
   ( kept,
     {
@@ -236,6 +254,7 @@ let maximally_contained ?(max_candidates = 100_000) views query =
   let kept : (Cq.Query.t * Cq.Query.t) list ref = ref [] in
   let consume atoms =
     incr candidates;
+    !on_event Candidate;
     if !candidates > max_candidates then begin
       truncated := true;
       raise Budget_exhausted
@@ -248,19 +267,24 @@ let maximally_contained ?(max_candidates = 100_000) views query =
         | Some expansion ->
             if Cq.Containment.contained expansion query then begin
               incr verified;
+              !on_event Verified;
               let subsumed =
                 List.exists
                   (fun (_, e') -> Cq.Containment.contained expansion e')
                   !kept
               in
               if not subsumed then begin
-                (* drop previously kept disjuncts this one subsumes *)
+                (* drop previously kept disjuncts this one subsumes;
+                   [kept] is in reverse order (filter preserves it, the
+                   logical append is a cons), restored by the final
+                   [List.rev] *)
                 kept :=
-                  List.filter
-                    (fun (_, e') ->
-                      not (Cq.Containment.contained e' expansion))
-                    !kept
-                  @ [ (cand, expansion) ]
+                  (cand, expansion)
+                  :: List.filter
+                       (fun (_, e') ->
+                         not (Cq.Containment.contained e' expansion))
+                       !kept;
+                !on_event Kept
               end
             end)
   in
@@ -270,7 +294,7 @@ let maximally_contained ?(max_candidates = 100_000) views query =
     List.mapi
       (fun i (r, _) ->
         Cq.Query.with_name (Printf.sprintf "%s_mcr%d" (Cq.Query.name query) i) r)
-      !kept
+      (List.rev !kept)
   in
   ( kept,
     {

@@ -23,6 +23,13 @@ type stats = {
   truncated : bool;  (** candidate generation hit [max_candidates] *)
 }
 
+type event = Candidate | Verified | Kept
+
+val on_event : (event -> unit) ref
+(** Instrumentation hook, fired by every enumerator as candidates are
+    generated, verified and kept.  A no-op by default;
+    {!Dc_citation.Metrics} installs a counter sink. *)
+
 val rewritings :
   ?strategy:strategy ->
   ?partial:bool ->

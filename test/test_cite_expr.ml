@@ -62,6 +62,15 @@ let test_to_polynomial () =
   Alcotest.(check (list string)) "tokens" [ "CV1(11)"; "CV1(12)"; "CV3" ]
     (P.variables p)
 
+(* Canonicalization: [leaves] returns each distinct leaf once, sorted,
+   however often and wherever it occurs in the tree. *)
+let test_leaves_canonical () =
+  let e = E.alt_r [ E.joint [ l3; l1; l3 ]; E.joint [ l2; l1 ]; l3 ] in
+  let ls = E.leaves e in
+  Alcotest.(check int) "three unique leaves" 3 (List.length ls);
+  Alcotest.(check (list string)) "sorted by view" [ "V1"; "V2"; "V3" ]
+    (List.map (fun (l : E.leaf) -> l.view) ls)
+
 let suite =
   [
     Alcotest.test_case "flatten" `Quick test_normalize_flatten;
@@ -71,5 +80,6 @@ let suite =
     Alcotest.test_case "paper expression" `Quick test_paper_expression;
     Alcotest.test_case "pp shape" `Quick test_pp_shape;
     Alcotest.test_case "leaves/size" `Quick test_leaves_and_size;
+    Alcotest.test_case "leaves canonical" `Quick test_leaves_canonical;
     Alcotest.test_case "to_polynomial" `Quick test_to_polynomial;
   ]

@@ -108,6 +108,19 @@ let test_binding_module () =
   let r = E.Binding.restrict b [ "X" ] in
   Alcotest.(check (option value_t)) "restricted" None (E.Binding.find r "Y")
 
+let test_binding_restrict () =
+  let b = E.Binding.of_list [ ("X", int 1); ("Y", str "a"); ("Z", int 3) ] in
+  (* duplicate names in the keep list are harmless *)
+  let r = E.Binding.restrict b [ "Z"; "X"; "X" ] in
+  Alcotest.(check (option value_t)) "X kept" (Some (int 1)) (E.Binding.find r "X");
+  Alcotest.(check (option value_t)) "Z kept" (Some (int 3)) (E.Binding.find r "Z");
+  Alcotest.(check (option value_t)) "Y dropped" None (E.Binding.find r "Y");
+  Alcotest.(check int) "two entries" 2 (List.length (E.Binding.to_list r));
+  Alcotest.(check bool) "empty keep list" true
+    (E.Binding.equal E.Binding.empty (E.Binding.restrict b []));
+  Alcotest.(check bool) "unknown names ignored" true
+    (E.Binding.equal r (E.Binding.restrict b [ "Z"; "X"; "W" ]))
+
 (* Against a generated database: every binding reported actually
    satisfies every atom, and tuple grouping is exact. *)
 let prop_bindings_satisfy =
@@ -148,5 +161,6 @@ let suite =
     Alcotest.test_case "paper query" `Quick test_paper_query;
     Alcotest.test_case "result schema" `Quick test_result_schema;
     Alcotest.test_case "binding module" `Quick test_binding_module;
+    Alcotest.test_case "binding restrict" `Quick test_binding_restrict;
     prop_bindings_satisfy;
   ]

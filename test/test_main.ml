@@ -23,6 +23,7 @@ let () =
       ("citation", Test_citation.suite);
       ("policy+compute", Test_policy.suite);
       ("engine", Test_engine.suite);
+      ("metrics", Test_metrics.suite);
       ("incremental", Test_incremental.suite);
       ("fixity+coverage", Test_fixity_coverage.suite);
       ("formats+spec", Test_fmt_spec.suite);

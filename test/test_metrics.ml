@@ -1,0 +1,178 @@
+open Testutil
+module C = Dc_citation
+module M = Dc_citation.Metrics
+module E = Dc_citation.Engine
+module I = Dc_citation.Incremental
+module R = Dc_relational
+module D = Dc_relational.Delta
+
+let q = parse
+
+(* Containment-equivalent forms of the paper query Q. *)
+let query_q = Dc_gtopdb.Paper_views.query_q
+let q_renamed = q "Q(N) :- Family(I,N,D), FamilyIntro(I,T)"
+
+let q_permuted =
+  q "Q(FName) :- FamilyIntro(FID,Text), Family(FID,FName,Desc)"
+
+(* Same core as Q, but with a redundant atom: the canonical rendering
+   differs, so only minimization + the Chandra-Merlin bucket scan can
+   recognize it. *)
+let q_redundant =
+  q "Q(FName) :- Family(FID,FName,Desc), Family(FID,FName,D2), FamilyIntro(FID,Text)"
+
+let fresh_engine () = E.create (paper_db ()) Dc_gtopdb.Paper_views.all
+let count e k = M.count (E.metrics e) k
+
+let test_plan_cache_hit_on_equivalent () =
+  let e = fresh_engine () in
+  let r1 = E.cite e query_q in
+  Alcotest.(check int) "first cite misses" 1 (count e M.Key.plan_cache_misses);
+  Alcotest.(check int) "no hit yet" 0 (count e M.Key.plan_cache_hits);
+  let cands = count e M.Key.rewriting_candidates in
+  Alcotest.(check bool) "enumeration happened" true (cands > 0);
+  let r2 = E.cite e q_renamed in
+  Alcotest.(check int) "alpha-renamed repeat hits" 1
+    (count e M.Key.plan_cache_hits);
+  Alcotest.(check int) "no re-enumeration" cands
+    (count e M.Key.rewriting_candidates);
+  Alcotest.(check int) "same rewritings" (List.length r1.rewritings)
+    (List.length r2.rewritings);
+  ignore (E.cite e q_permuted);
+  ignore (E.cite e q_redundant);
+  Alcotest.(check int) "permuted + redundant forms hit" 3
+    (count e M.Key.plan_cache_hits);
+  Alcotest.(check int) "one miss total" 1 (count e M.Key.plan_cache_misses);
+  Alcotest.(check int) "candidates still unchanged" cands
+    (count e M.Key.rewriting_candidates)
+
+let test_plan_cache_survives_refresh () =
+  let e = fresh_engine () in
+  ignore (E.cite e query_q);
+  let cands = count e M.Key.rewriting_candidates in
+  let db' =
+    D.apply (paper_db ())
+      (D.insert D.empty "Family" (tuple [ int 30; str "Orexin"; str "O1" ]))
+  in
+  let e' = E.refresh e db' in
+  ignore (E.cite e' query_q);
+  Alcotest.(check int) "hit after refresh" 1
+    (count e' M.Key.plan_cache_hits);
+  Alcotest.(check int) "one miss total" 1 (count e' M.Key.plan_cache_misses);
+  Alcotest.(check int) "no re-enumeration" cands
+    (count e' M.Key.rewriting_candidates)
+
+let test_plan_cache_survives_apply_delta () =
+  let engine = fresh_engine () in
+  let reg = I.register engine query_q in
+  let misses = count engine M.Key.plan_cache_misses in
+  let cands = count engine M.Key.rewriting_candidates in
+  let delta =
+    D.insert D.empty "Family" (tuple [ int 13; str "Calcitonin"; str "C3" ])
+  in
+  let reg = I.apply_delta reg delta in
+  let e' = I.engine reg in
+  ignore (E.cite e' query_q);
+  Alcotest.(check int) "warm plan cache after delta" 1
+    (count e' M.Key.plan_cache_hits);
+  Alcotest.(check int) "no new miss" misses
+    (count e' M.Key.plan_cache_misses);
+  Alcotest.(check int) "no re-enumeration" cands
+    (count e' M.Key.rewriting_candidates)
+
+let test_different_view_set_is_cold () =
+  let e1 = fresh_engine () in
+  ignore (E.cite e1 query_q);
+  let views' =
+    List.filter
+      (fun cv -> C.Citation_view.name cv <> "V1")
+      Dc_gtopdb.Paper_views.all
+  in
+  let e2 = E.create (paper_db ()) views' in
+  ignore (E.cite e2 query_q);
+  Alcotest.(check int) "fresh view set starts cold" 0
+    (count e2 M.Key.plan_cache_hits);
+  Alcotest.(check int) "and misses once" 1
+    (count e2 M.Key.plan_cache_misses)
+
+let test_counters_monotonic () =
+  let e = fresh_engine () in
+  let snapshot () = List.map (count e) M.Key.all in
+  let le a b = List.for_all2 (fun x y -> x <= y) a b in
+  let s0 = snapshot () in
+  ignore (E.cite e query_q);
+  let s1 = snapshot () in
+  ignore (E.cite e q_renamed);
+  let s2 = snapshot () in
+  ignore (E.cite e q_redundant);
+  let s3 = snapshot () in
+  Alcotest.(check bool) "s0 <= s1" true (le s0 s1);
+  Alcotest.(check bool) "s1 <= s2" true (le s1 s2);
+  Alcotest.(check bool) "s2 <= s3" true (le s2 s3)
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let test_to_json_shape () =
+  let e = fresh_engine () in
+  ignore (E.cite e query_q);
+  let j = M.to_json (E.metrics e) in
+  Alcotest.(check bool) "counters object" true (contains j "{\"counters\":{");
+  Alcotest.(check bool) "timers object" true (contains j ",\"timers\":{");
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (k ^ " present") true
+        (contains j (Printf.sprintf "%S:" k)))
+    M.Key.all;
+  Alcotest.(check bool) "timer fields" true
+    (contains j "\"ms\":" && contains j "\"calls\":");
+  (* one line, balanced braces *)
+  Alcotest.(check bool) "single line" true (not (String.contains j '\n'))
+
+(* The leaf cache canonicalizes the parameter order: two leaves naming
+   the same (view, valuation) in different orders share one entry. *)
+let test_leaf_key_param_order () =
+  let cv =
+    C.Citation_view.make_exn
+      ~view:(q "lambda FID, FName. V4(FID,FName) :- Family(FID,FName,Desc)")
+      ~citations:[ q "lambda FID. CV4(FID,PName) :- Committee(FID,PName)" ]
+      ()
+  in
+  let e = E.create (paper_db ()) [ cv ] in
+  let params = [ ("FID", int 11); ("FName", str "Calcitonin") ] in
+  let c1 = E.resolve_leaf e { view = "V4"; params } in
+  Alcotest.(check int) "first resolution misses" 1
+    (count e M.Key.leaf_cache_misses);
+  let c2 = E.resolve_leaf e { view = "V4"; params = List.rev params } in
+  Alcotest.(check int) "permuted params hit" 1
+    (count e M.Key.leaf_cache_hits);
+  Alcotest.(check int) "no second miss" 1 (count e M.Key.leaf_cache_misses);
+  Alcotest.(check bool) "same citation" true (C.Citation.equal c1 c2)
+
+let test_eval_cache_counters () =
+  let e = fresh_engine () in
+  ignore (E.cite e query_q);
+  let builds = count e M.Key.eval_index_builds in
+  Alcotest.(check bool) "indexes built" true (builds > 0);
+  ignore (E.cite e query_q);
+  Alcotest.(check bool) "warm indexes reused" true
+    (count e M.Key.eval_cache_hits > 0)
+
+let suite =
+  [
+    Alcotest.test_case "plan cache: equivalent forms hit" `Quick
+      test_plan_cache_hit_on_equivalent;
+    Alcotest.test_case "plan cache survives refresh" `Quick
+      test_plan_cache_survives_refresh;
+    Alcotest.test_case "plan cache survives apply_delta" `Quick
+      test_plan_cache_survives_apply_delta;
+    Alcotest.test_case "different view set starts cold" `Quick
+      test_different_view_set_is_cold;
+    Alcotest.test_case "counters monotonic" `Quick test_counters_monotonic;
+    Alcotest.test_case "to_json shape" `Quick test_to_json_shape;
+    Alcotest.test_case "leaf key canonicalizes param order" `Quick
+      test_leaf_key_param_order;
+    Alcotest.test_case "eval cache counters" `Quick test_eval_cache_counters;
+  ]

@@ -230,6 +230,42 @@ let prop_rewriting_soundness =
             rs)
         (Dc_gtopdb.Workload.generate ~seed ~count:3))
 
+(* Regression for the accumulator rewrite (cons + final reverse): kept
+   rewritings come back in discovery order, named "<q>_rw0", "_rw1", …
+   with no duplicates, and [stats.kept] matches the returned count. *)
+let test_names_and_order () =
+  let vs = paper_views () in
+  List.iter
+    (fun strategy ->
+      let rewritings, (stats : Rw.Rewrite.stats) =
+        Rw.Rewrite.rewritings ~strategy vs Dc_gtopdb.Paper_views.query_q
+      in
+      Alcotest.(check (list string)) "sequential _rw<i> names"
+        (List.mapi (fun i _ -> Printf.sprintf "Q_rw%d" i) rewritings)
+        (List.map Cq.Query.name rewritings);
+      Alcotest.(check int) "stats.kept = returned" (List.length rewritings)
+        stats.kept;
+      let uniq =
+        List.sort_uniq compare (List.map Cq.Query.to_string rewritings)
+      in
+      Alcotest.(check int) "no duplicates" (List.length rewritings)
+        (List.length uniq))
+    Rw.Rewrite.[ Naive; Bucket; Minicon ]
+
+let test_mcr_names () =
+  let vs = paper_views () in
+  (* Q3 has no equivalent rewriting (Desc is not exposed by V3's join
+     partner here), but contained ones exist *)
+  let q3 = q "Q3(FName) :- Family(FID,FName,Desc), Committee(FID,PName)" in
+  let disjuncts, (stats : Rw.Rewrite.stats) =
+    Rw.Rewrite.maximally_contained vs q3
+  in
+  Alcotest.(check int) "stats.kept = returned" (List.length disjuncts)
+    stats.kept;
+  Alcotest.(check (list string)) "sequential _mcr<i> names"
+    (List.mapi (fun i _ -> Printf.sprintf "Q3_mcr%d" i) disjuncts)
+    (List.map Cq.Query.name disjuncts)
+
 let suite =
   [
     Alcotest.test_case "view set" `Quick test_view_set;
@@ -247,5 +283,8 @@ let suite =
     Alcotest.test_case "minimize rewriting" `Quick test_minimize_rewriting;
     Alcotest.test_case "cost model (paper sizes)" `Quick test_cost_model;
     Alcotest.test_case "cost scales with db" `Quick test_cost_scales_with_db;
+    Alcotest.test_case "sequential names, no duplicates" `Quick
+      test_names_and_order;
+    Alcotest.test_case "maximally contained names" `Quick test_mcr_names;
     prop_rewriting_soundness;
   ]
