@@ -111,6 +111,7 @@ let () =
       ("E10", Experiments.e10);
       ("E11", Experiments.e11);
       ("E12", Experiments.e12);
+      ("E13", Experiments.e13);
     ]
   in
   let to_run =

@@ -1,0 +1,79 @@
+(* datacite-bench-client: load generator for datacite-server.
+
+   Drives N concurrent connections, each issuing a fixed number of
+   requests drawn round-robin from the workload, and reports throughput
+   plus p50/p95/p99 latency — as a table and as one METRICS JSON line. *)
+
+module S = Dc_server
+open Cmdliner
+
+let host_arg =
+  let doc = "Server address." in
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR" ~doc)
+
+let port_arg =
+  let doc = "Server port." in
+  Arg.(
+    value
+    & opt int S.Server.default_config.port
+    & info [ "port"; "p" ] ~docv:"PORT" ~doc)
+
+let clients_arg =
+  let doc = "Concurrent client connections." in
+  Arg.(value & opt int 4 & info [ "clients"; "c" ] ~docv:"N" ~doc)
+
+let requests_arg =
+  let doc = "Requests issued per client." in
+  Arg.(value & opt int 100 & info [ "requests"; "n" ] ~docv:"N" ~doc)
+
+let query_arg =
+  let doc =
+    "Request line to send (repeatable; raw protocol, e.g. 'CITE Q(X) :- \
+     Ligand(X,N,T)' or 'STATS').  Defaults to a small GtoPdb workload."
+  in
+  Arg.(value & opt_all string [] & info [ "query"; "q" ] ~docv:"LINE" ~doc)
+
+(* Query.to_string may break long queries across lines; the protocol is
+   line-delimited, so flatten. *)
+let flatten s = String.map (fun c -> if c = '\n' then ' ' else c) s
+
+let default_workload =
+  List.map
+    (fun q -> "CITE " ^ flatten (Dc_cq.Query.to_string q))
+    Dc_gtopdb.Workload.templates
+
+let run host port clients requests queries =
+  let workload = if queries = [] then default_workload else queries in
+  let stats =
+    try
+      S.Client.Load.run ~host ~port ~clients ~requests_per_client:requests
+        ~requests:workload ()
+    with Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "datacite-bench-client: cannot reach %s:%d (%s)\n" host
+        port (Unix.error_message e);
+      exit 1
+  in
+  Printf.printf "clients          %d\n" clients;
+  Printf.printf "requests         %d (%d errors)\n" stats.requests stats.errors;
+  Printf.printf "elapsed          %.3f s\n" stats.elapsed_s;
+  Printf.printf "throughput       %.1f req/s\n" stats.throughput_rps;
+  Printf.printf "latency p50      %.3f ms\n" stats.p50_ms;
+  Printf.printf "latency p95      %.3f ms\n" stats.p95_ms;
+  Printf.printf "latency p99      %.3f ms\n" stats.p99_ms;
+  Printf.printf "latency max      %.3f ms\n" stats.max_ms;
+  Printf.printf "METRICS %s\n"
+    (S.Client.Load.to_json
+       ~extra:[ ("clients", string_of_int clients) ]
+       stats);
+  if stats.errors > 0 then exit 2
+
+let () =
+  let term =
+    Term.(
+      const run $ host_arg $ port_arg $ clients_arg $ requests_arg $ query_arg)
+  in
+  let info =
+    Cmd.info "datacite-bench-client" ~version:"1.0.0"
+      ~doc:"Load-generate against datacite-server"
+  in
+  exit (Cmd.eval (Cmd.v info term))

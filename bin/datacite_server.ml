@@ -1,0 +1,125 @@
+(* datacite-server: TCP daemon serving citations over a line protocol.
+
+   Loads a database + citation-view catalog once, builds one shared
+   read-only engine, then answers CITE / CITE_PARAM / STATS / HEALTH /
+   QUIT requests (one line each way, responses are single-line JSON).
+   SIGINT/SIGTERM drain in-flight requests before exiting. *)
+
+module C = Dc_citation
+module S = Dc_server
+open Cmdliner
+
+let read_file path =
+  match Dc_relational.Csv_io.read_file path with
+  | Ok s -> s
+  | Error e ->
+      prerr_endline e;
+      exit 1
+
+let load_views path =
+  match C.Spec.parse_views (read_file path) with
+  | Ok vs -> vs
+  | Error e ->
+      prerr_endline ("view spec error: " ^ e);
+      exit 1
+
+let load_db dir =
+  match C.Spec.load_database ~dir with
+  | Ok db -> db
+  | Error e ->
+      prerr_endline ("database error: " ^ e);
+      exit 1
+
+let data_arg =
+  let doc = "Directory with schema.spec and <Relation>.csv files." in
+  Arg.(value & opt (some dir) None & info [ "data" ] ~docv:"DIR" ~doc)
+
+let views_arg =
+  let doc = "Citation view specification file." in
+  Arg.(value & opt (some file) None & info [ "views" ] ~docv:"FILE" ~doc)
+
+let demo_arg =
+  let doc =
+    "Serve the built-in GtoPdb worked example instead of --data/--views."
+  in
+  Arg.(value & flag & info [ "demo" ] ~doc)
+
+let host_arg =
+  let doc = "Address to bind." in
+  Arg.(
+    value
+    & opt string S.Server.default_config.host
+    & info [ "host" ] ~docv:"ADDR" ~doc)
+
+let port_arg =
+  let doc = "Port to listen on (0 picks an ephemeral port)." in
+  Arg.(
+    value
+    & opt int S.Server.default_config.port
+    & info [ "port"; "p" ] ~docv:"PORT" ~doc)
+
+let workers_arg =
+  let doc = "Worker threads executing requests." in
+  Arg.(
+    value
+    & opt int S.Server.default_config.workers
+    & info [ "workers" ] ~docv:"N" ~doc)
+
+let queue_arg =
+  let doc = "Pending-request queue bound before load shedding." in
+  Arg.(
+    value
+    & opt int S.Server.default_config.queue_capacity
+    & info [ "queue" ] ~docv:"N" ~doc)
+
+let timeout_arg =
+  let doc = "Per-request timeout in seconds." in
+  Arg.(
+    value
+    & opt float S.Server.default_config.request_timeout_s
+    & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+
+let run data views demo host port workers queue timeout =
+  let db, cvs =
+    if demo then
+      (Dc_gtopdb.Paper_views.example_database (), Dc_gtopdb.Paper_views.all)
+    else
+      match (data, views) with
+      | Some data, Some views -> (load_db data, load_views views)
+      | _ ->
+          prerr_endline
+            "datacite-server: pass --data DIR and --views FILE, or --demo";
+          exit 1
+  in
+  let engine = C.Engine.create db cvs in
+  let config =
+    {
+      S.Server.default_config with
+      host;
+      port;
+      workers;
+      queue_capacity = queue;
+      request_timeout_s = timeout;
+    }
+  in
+  let server = S.Server.start ~config engine in
+  let restore = S.Server.install_signal_handlers server in
+  Printf.printf "datacite-server listening on %s:%d (%d views, %d tuples)\n%!"
+    host (S.Server.port server)
+    (C.Citation_view.Set.size (C.Engine.citation_views engine))
+    (Dc_relational.Database.total_tuples db);
+  S.Server.wait server;
+  restore ();
+  print_endline "datacite-server: stopped"
+
+let () =
+  let term =
+    Term.(
+      const run $ data_arg $ views_arg $ demo_arg $ host_arg $ port_arg
+      $ workers_arg $ queue_arg $ timeout_arg)
+  in
+  let info =
+    Cmd.info "datacite-server" ~version:"1.0.0"
+      ~doc:"Serve data citations over a TCP line protocol"
+  in
+  exit (Cmd.eval (Cmd.v info term))

@@ -44,7 +44,15 @@ type t = {
   eval_cache : Cq.Eval.cache;
   plans : plan_cache;
   metrics : Metrics.t;
+  (* Guards every shared mutable cache (plan, leaf, eval) so one engine
+     can serve concurrent threads (the server's worker pool).  [refresh]
+     and [with_databases] copies share the caches, hence also the lock. *)
+  lock : Mutex.t;
 }
+
+let locked e f =
+  Mutex.lock e.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock e.lock) f
 
 let materialize ?cache base cviews =
   List.fold_left
@@ -95,6 +103,7 @@ let create ?(policy = Policy.default) ?(selection = `Min_estimated_size)
        starts cold *)
     plans = { by_render = Hashtbl.create 16; by_preds = Hashtbl.create 16 };
     metrics;
+    lock = Mutex.create ();
   }
 
 let database e = e.base
@@ -116,7 +125,7 @@ let refresh e base =
     view_db =
       Metrics.with_sink e.metrics (fun () ->
           Metrics.record_time "materialize" (fun () ->
-              materialize ~cache:e.eval_cache base e.cviews));
+              locked e (fun () -> materialize ~cache:e.eval_cache base e.cviews)));
     leaf_cache = Hashtbl.create 64;
   }
 
@@ -152,6 +161,7 @@ let leaf_key (l : Cite_expr.leaf) =
 
 let resolve_leaf e (l : Cite_expr.leaf) =
   Metrics.with_sink e.metrics @@ fun () ->
+  locked e @@ fun () ->
   let k = leaf_key l in
   match Hashtbl.find_opt e.leaf_cache k with
   | Some c ->
@@ -214,6 +224,7 @@ let pred_multiset q =
    hence share their predicate multiset — an equivalence scan within
    the core's predicate-multiset bucket. *)
 let plan_for e query =
+  locked e @@ fun () ->
   let stripped = Cq.Query.strip_params query in
   let render = canonical_render stripped in
   match Hashtbl.find_opt e.plans.by_render render with
@@ -259,6 +270,7 @@ let plan_for e query =
           plan)
 
 let contained_for e plan query =
+  locked e @@ fun () ->
   match plan.plan_contained with
   | Some r -> r
   | None ->
@@ -292,6 +304,9 @@ let cite e query =
   in
   let per_tuple =
     Metrics.record_time "eval" @@ fun () ->
+    (* the shared eval cache (index memoization) is mutated during the
+       run, so the evaluation itself is the critical section *)
+    locked e @@ fun () ->
     List.fold_left
       (fun m rw ->
         List.fold_left

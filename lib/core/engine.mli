@@ -13,7 +13,20 @@
       collecting all bindings per output tuple;
     + build per-tuple formal expressions (Definitions 2.1/2.2), the
       result-level [Agg], and their policy-evaluated concrete citation
-      sets; leaf citations are memoized per (view, valuation). *)
+      sets; leaf citations are memoized per (view, valuation).
+
+    {b Thread safety.}  One engine may serve {!cite} / {!cite_string} /
+    {!resolve_leaf} calls from any number of threads concurrently (this
+    is what the [dc_server] worker pool does): the shared mutable caches
+    — rewriting plans, leaf citations, and the evaluation index cache —
+    are guarded by an internal mutex, and {!Metrics} is itself
+    thread-safe.  {!refresh} and {!with_databases} return copies sharing
+    those caches {e and the mutex}, so the copies are safe too; swapping
+    which engine a server uses is the caller's (atomic-reference)
+    problem.  The contract covers only access {e through} the engine:
+    code that takes the raw {!eval_cache} handle and evaluates with it
+    directly ({!Incremental} does) bypasses the lock and must not run
+    concurrently with citations on the same engine. *)
 
 type selection =
   [ `All  (** evaluate every minimal rewriting; [+R] applies at eval *)

@@ -13,6 +13,9 @@ module Key = struct
   let rewriting_verified = "rewriting_verified"
   let rewriting_kept = "rewriting_kept"
   let containment_checks = "containment_checks"
+  let server_requests = "server_requests"
+  let server_errors = "server_errors"
+  let server_queue_depth = "server_queue_depth"
 
   let all =
     [
@@ -27,6 +30,9 @@ module Key = struct
       rewriting_verified;
       rewriting_kept;
       containment_checks;
+      server_requests;
+      server_errors;
+      server_queue_depth;
     ]
 end
 
@@ -39,6 +45,15 @@ type t = {
   mutable ts : (string * timer) list;
 }
 
+(* One process-wide lock serializes registry mutation and the sink
+   stack: the server records from its worker threads, and [with_sink]
+   scopes opened by different threads interleave on the shared [sinks]
+   list.  Everything under the lock is tiny (assoc-list walks, integer
+   bumps), so one coarse mutex is cheaper than it looks. *)
+let mu = Mutex.create ()
+
+let locked f = Mutex.protect mu f
+
 let create () = { cs = List.map (fun k -> (k, ref 0)) Key.all; ts = [] }
 let default = create ()
 
@@ -50,12 +65,22 @@ let counter_ref t name =
       t.cs <- t.cs @ [ (name, r) ];
       r
 
-let incr ?(by = 1) t name =
+let incr_unlocked ?(by = 1) t name =
   let r = counter_ref t name in
   r := !r + by
 
-let count t name = match List.assoc_opt name t.cs with Some r -> !r | None -> 0
-let counters t = List.map (fun (k, r) -> (k, !r)) t.cs
+let incr ?by t name = locked (fun () -> incr_unlocked ?by t name)
+
+let record_max t name v =
+  locked (fun () ->
+      let r = counter_ref t name in
+      if v > !r then r := v)
+
+let count t name =
+  locked (fun () ->
+      match List.assoc_opt name t.cs with Some r -> !r | None -> 0)
+
+let counters t = locked (fun () -> List.map (fun (k, r) -> (k, !r)) t.cs)
 
 let timer_ref t name =
   match List.assoc_opt name t.ts with
@@ -65,48 +90,67 @@ let timer_ref t name =
       t.ts <- t.ts @ [ (name, tm) ];
       tm
 
-let add_time t name s =
+let add_time_unlocked t name s =
   let tm = timer_ref t name in
   tm.total_s <- tm.total_s +. s;
   tm.calls <- tm.calls + 1
 
-let timer t name =
-  match List.assoc_opt name t.ts with
-  | Some tm -> (tm.total_s, tm.calls)
-  | None -> (0., 0)
+let add_time t name s = locked (fun () -> add_time_unlocked t name s)
 
-let timers t = List.map (fun (k, tm) -> (k, (tm.total_s, tm.calls))) t.ts
+let timer t name =
+  locked (fun () ->
+      match List.assoc_opt name t.ts with
+      | Some tm -> (tm.total_s, tm.calls)
+      | None -> (0., 0))
+
+let timers t =
+  locked (fun () -> List.map (fun (k, tm) -> (k, (tm.total_s, tm.calls))) t.ts)
 
 let reset t =
-  List.iter (fun (_, r) -> r := 0) t.cs;
-  List.iter
-    (fun (_, tm) ->
-      tm.total_s <- 0.;
-      tm.calls <- 0)
-    t.ts
+  locked (fun () ->
+      List.iter (fun (_, r) -> r := 0) t.cs;
+      List.iter
+        (fun (_, tm) ->
+          tm.total_s <- 0.;
+          tm.calls <- 0)
+        t.ts)
 
 (* Dynamically scoped extra sinks; [targets] dedups by physical
    equality so nested [with_sink] on the same registry (engine calls
-   re-entering engine calls) never double-counts. *)
+   re-entering engine calls) never double-counts.  The stack is shared
+   by every thread, so a scope exits by removing {e its own} frame (the
+   first physically-equal one), not the head — concurrent scopes pop in
+   any order. *)
 let sinks : t list ref = ref []
 
-let targets () =
+let targets_unlocked () =
   List.fold_left
     (fun acc m -> if List.memq m acc then acc else m :: acc)
     [ default ] !sinks
 
 let with_sink m f =
-  sinks := m :: !sinks;
-  Fun.protect ~finally:(fun () -> sinks := List.tl !sinks) f
+  locked (fun () -> sinks := m :: !sinks);
+  Fun.protect
+    ~finally:(fun () ->
+      locked (fun () ->
+          let rec drop = function
+            | [] -> []
+            | x :: rest -> if x == m then rest else x :: drop rest
+          in
+          sinks := drop !sinks))
+    f
 
-let record ?by name = List.iter (fun m -> incr ?by m name) (targets ())
+let record ?by name =
+  locked (fun () ->
+      List.iter (fun m -> incr_unlocked ?by m name) (targets_unlocked ()))
 
 let record_time name f =
   let t0 = Unix.gettimeofday () in
   Fun.protect
     ~finally:(fun () ->
       let dt = Unix.gettimeofday () -. t0 in
-      List.iter (fun m -> add_time m name dt) (targets ()))
+      locked (fun () ->
+          List.iter (fun m -> add_time_unlocked m name dt) (targets_unlocked ())))
     f
 
 let pp ppf t =

@@ -9,7 +9,17 @@
     observer hooks installed when this module is linked, and reach
     [default] plus every registry pushed with {!with_sink}.
 
-    Counters are monotonic: nothing but {!reset} ever decreases one. *)
+    Counters are monotonic: nothing but {!reset} ever decreases one.
+
+    {b Thread safety.}  Every operation in this module is safe to call
+    from any thread: registry mutation and the (process-global) sink
+    stack are serialized by one internal mutex.  {!with_sink} scopes
+    opened by different threads overlap on the shared stack — while a
+    scope is open, events recorded by {e any} thread reach its registry.
+    The server routes all requests through one engine (one registry), so
+    this sharing is exactly the aggregation it wants; processes juggling
+    several engines concurrently should read per-engine counters as
+    upper bounds. *)
 
 type t
 
@@ -33,11 +43,29 @@ module Key : sig
   val rewriting_kept : string
   val containment_checks : string
 
+  val server_requests : string
+  (** Request lines received by the citation server (all commands,
+      well-formed or not). *)
+
+  val server_errors : string
+  (** Requests answered with an [ERR] line (parse failures, engine
+      errors, overload rejections, timeouts). *)
+
+  val server_queue_depth : string
+  (** High-water mark of the server's worker-pool queue (maintained
+      with {!record_max}, so still monotonic between resets). *)
+
   val all : string list
   (** Every key above, in canonical display order. *)
 end
 
 val incr : ?by:int -> t -> string -> unit
+
+val record_max : t -> string -> int -> unit
+(** Raise a counter to [v] if it is currently below it (atomically), a
+    monotonic high-water mark.  Used for gauge-like observations such as
+    queue depth. *)
+
 val count : t -> string -> int
 (** [0] for a counter never incremented. *)
 

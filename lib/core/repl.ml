@@ -45,7 +45,15 @@ let help_text =
   \  page <view> [k=v]    render a web-page view with its citation\n\
   \  bib                  show the bibliography of cited queries\n\
   \  :stats               engine metrics (cache hit rates, timers)\n\
+  \  :serve               how to serve citations over TCP (datacite-server)\n\
   \  help                 this text"
+
+let serve_text =
+  "the shell is single-user; to serve citations over TCP run the daemon:\n\
+  \  datacite-server --data <dir> --views <file> [--port 7421] [--workers 4]\n\
+   it loads the same specs, keeps one warm engine, and answers\n\
+   CITE / CITE_PARAM / STATS / HEALTH / QUIT as one-line JSON\n\
+   (see README \"Running the server\"; datacite-bench-client load-tests it)"
 
 (* finalize the pending view definition, if any *)
 let flush_pending st =
@@ -308,6 +316,7 @@ let eval st line =
           | None -> Metrics.default
         in
         (st, String.trim (Format.asprintf "%a" Metrics.pp m))
+    | "serve" | ":serve" -> (st, serve_text)
     | other -> (st, Printf.sprintf "unknown command %s (try: help)" other)
 
 let eval_script st lines =

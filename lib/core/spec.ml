@@ -116,19 +116,17 @@ let parse_schemas src =
   in
   go [] lines
 
-let read_file path =
-  let ic = open_in path in
-  let len = in_channel_length ic in
-  let contents = really_input_string ic len in
-  close_in ic;
-  contents
-
 let load_database ~dir =
   let schema_path = Filename.concat dir "schema.spec" in
   if not (Sys.file_exists schema_path) then
     Error (Printf.sprintf "no schema.spec in %s" dir)
   else
-    match parse_schemas (read_file schema_path) with
+    match
+      Result.bind (R.Csv_io.read_file schema_path) (fun src ->
+          Result.map_error
+            (fun e -> Printf.sprintf "%s: %s" schema_path e)
+            (parse_schemas src))
+    with
     | Error e -> Error e
     | Ok schemas ->
         let rec load db = function

@@ -7,12 +7,14 @@ let delta_path ~dir v = Filename.concat (deltas_dir dir) (Printf.sprintf "%06d.d
 let init ~dir db =
   if Sys.file_exists (base_dir dir) then
     Error (Printf.sprintf "%s already contains a store" dir)
-  else begin
-    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-    Spec.save_database db ~dir:(base_dir dir);
-    Sys.mkdir (deltas_dir dir) 0o755;
-    Ok ()
-  end
+  else
+    try
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      Spec.save_database db ~dir:(base_dir dir);
+      Sys.mkdir (deltas_dir dir) 0o755;
+      Ok ()
+    with Sys_error e ->
+      Error (Printf.sprintf "cannot initialize store %s: %s" dir e)
 
 let delta_files dir =
   if not (Sys.file_exists (deltas_dir dir)) then []
@@ -31,8 +33,9 @@ let load ~dir =
       let rec replay store = function
         | [] -> Ok store
         | path :: rest -> (
+            (* [Delta_io.load] errors already carry the file path *)
             match R.Delta_io.load ~schemas path with
-            | Error e -> Error (Printf.sprintf "%s: %s" path e)
+            | Error e -> Error e
             | Ok delta -> (
                 match R.Version_store.commit_delta store delta with
                 | store, _ -> replay store rest
@@ -48,6 +51,9 @@ let commit ~dir delta =
       match R.Version_store.commit_delta store delta with
       | exception (Not_found | Invalid_argument _) ->
           Error "delta does not apply to the current head"
-      | _, v ->
-          R.Delta_io.save delta (delta_path ~dir v);
-          Ok v)
+      | _, v -> (
+          match R.Delta_io.save delta (delta_path ~dir v) with
+          | () -> Ok v
+          | exception Sys_error e ->
+              Error
+                (Printf.sprintf "cannot write %s: %s" (delta_path ~dir v) e)))

@@ -167,12 +167,32 @@ let relation_to_string ?(header = true) rel =
     rel;
   Buffer.contents buf
 
+(* File loads return contextual errors (path + reason) instead of
+   raising [Sys_error], so a failing server or CLI startup names the
+   file it choked on. *)
+let read_file path =
+  (* a [Sys_error] message already names the file ("path: reason") *)
+  match open_in_bin path with
+  | exception Sys_error e -> Error (Printf.sprintf "cannot read %s" e)
+  | ic -> (
+      match really_input_string ic (in_channel_length ic) with
+      | contents ->
+          close_in ic;
+          Ok contents
+      | exception Sys_error e ->
+          close_in_noerr ic;
+          Error (Printf.sprintf "cannot read %s" e)
+      | exception End_of_file ->
+          close_in_noerr ic;
+          Error (Printf.sprintf "cannot read %s: truncated" path))
+
 let load_relation schema path =
-  let ic = open_in path in
-  let len = in_channel_length ic in
-  let contents = really_input_string ic len in
-  close_in ic;
-  relation_of_string schema contents
+  match read_file path with
+  | Error e -> Error e
+  | Ok contents ->
+      Result.map_error
+        (fun e -> Printf.sprintf "%s: %s" path e)
+        (relation_of_string schema contents)
 
 let save_relation ?header rel path =
   let oc = open_out path in

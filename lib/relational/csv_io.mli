@@ -23,7 +23,12 @@ val relation_of_string : Schema.t -> string -> (Relation.t, string) result
 
 val relation_to_string : ?header:bool -> Relation.t -> string
 
+val read_file : string -> (string, string) result
+(** Whole-file read with a contextual (path + reason) error instead of
+    a raised [Sys_error]. *)
+
 val load_relation : Schema.t -> string -> (Relation.t, string) result
-(** Reads from a file path. *)
+(** Reads from a file path.  Never raises on I/O failure: both the read
+    and any parse error come back as [Error] mentioning the path. *)
 
 val save_relation : ?header:bool -> Relation.t -> string -> unit

@@ -69,11 +69,12 @@ let parse ~schemas src =
       go 1 Delta.empty records
 
 let load ~schemas path =
-  let ic = open_in path in
-  let len = in_channel_length ic in
-  let contents = really_input_string ic len in
-  close_in ic;
-  parse ~schemas contents
+  match Csv_io.read_file path with
+  | Error e -> Error e
+  | Ok contents ->
+      Result.map_error
+        (fun e -> Printf.sprintf "%s: %s" path e)
+        (parse ~schemas contents)
 
 let save delta path =
   let oc = open_out path in

@@ -1,0 +1,100 @@
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect ?(host = "127.0.0.1") ~port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+   with ex ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise ex);
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let request t line =
+  output_string t.oc line;
+  output_char t.oc '\n';
+  flush t.oc;
+  match input_line t.ic with
+  | line -> Some line
+  | exception (End_of_file | Sys_error _) -> None
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+module Load = struct
+  type stats = {
+    requests : int;
+    errors : int;
+    elapsed_s : float;
+    throughput_rps : float;
+    p50_ms : float;
+    p95_ms : float;
+    p99_ms : float;
+    max_ms : float;
+  }
+
+  (* nearest-rank percentile over a sorted array *)
+  let percentile sorted p =
+    let n = Array.length sorted in
+    if n = 0 then 0.
+    else
+      let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+      sorted.(max 0 (min (n - 1) (rank - 1)))
+
+  let run ?host ~port ~clients ~requests_per_client ~requests () =
+    if clients < 1 then invalid_arg "Load.run: clients < 1";
+    if requests = [] then invalid_arg "Load.run: empty request list";
+    let reqs = Array.of_list requests in
+    let latencies =
+      Array.init clients (fun _ -> Array.make requests_per_client 0.)
+    in
+    let errors = Array.make clients 0 in
+    let worker k () =
+      let conn = connect ?host ~port () in
+      for i = 0 to requests_per_client - 1 do
+        let line = reqs.((i + (k * 7)) mod Array.length reqs) in
+        let t0 = Unix.gettimeofday () in
+        let reply = request conn line in
+        latencies.(k).(i) <- (Unix.gettimeofday () -. t0) *. 1000.;
+        match Option.map Protocol.classify_response reply with
+        | Some (`Ok _) -> ()
+        | Some (`Err _) | Some `Malformed | None ->
+            errors.(k) <- errors.(k) + 1
+      done;
+      ignore (request conn "QUIT");
+      close conn
+    in
+    let t0 = Unix.gettimeofday () in
+    let threads = List.init clients (fun k -> Thread.create (worker k) ()) in
+    List.iter Thread.join threads;
+    let elapsed_s = Unix.gettimeofday () -. t0 in
+    let all = Array.concat (Array.to_list latencies) in
+    Array.sort compare all;
+    let total = clients * requests_per_client in
+    {
+      requests = total;
+      errors = Array.fold_left ( + ) 0 errors;
+      elapsed_s;
+      throughput_rps = float_of_int total /. Float.max elapsed_s 1e-9;
+      p50_ms = percentile all 50.;
+      p95_ms = percentile all 95.;
+      p99_ms = percentile all 99.;
+      max_ms = (if Array.length all = 0 then 0. else all.(Array.length all - 1));
+    }
+
+  let to_json ?(extra = []) s =
+    let fields =
+      extra
+      @ [
+          ("requests", string_of_int s.requests);
+          ("errors", string_of_int s.errors);
+          ("elapsed_s", Printf.sprintf "%.3f" s.elapsed_s);
+          ("throughput_rps", Printf.sprintf "%.1f" s.throughput_rps);
+          ("p50_ms", Printf.sprintf "%.3f" s.p50_ms);
+          ("p95_ms", Printf.sprintf "%.3f" s.p95_ms);
+          ("p99_ms", Printf.sprintf "%.3f" s.p99_ms);
+          ("max_ms", Printf.sprintf "%.3f" s.max_ms);
+        ]
+    in
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" k v) fields)
+    ^ "}"
+end

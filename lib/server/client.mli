@@ -1,0 +1,43 @@
+(** Blocking client for the citation server, plus the load generator
+    behind [datacite_bench_client] and bench experiment E13. *)
+
+type t
+
+val connect : ?host:string -> port:int -> unit -> t
+(** Raises [Unix.Unix_error] when the server is unreachable. *)
+
+val request : t -> string -> string option
+(** Send one request line, read one response line; [None] when the
+    server closed the connection. *)
+
+val close : t -> unit
+
+module Load : sig
+  type stats = {
+    requests : int;
+    errors : int;  (** [ERR], malformed, or dropped responses *)
+    elapsed_s : float;
+    throughput_rps : float;
+    p50_ms : float;
+    p95_ms : float;
+    p99_ms : float;
+    max_ms : float;
+  }
+
+  val run :
+    ?host:string ->
+    port:int ->
+    clients:int ->
+    requests_per_client:int ->
+    requests:string list ->
+    unit ->
+    stats
+  (** Open [clients] concurrent connections; each issues
+      [requests_per_client] request lines drawn round-robin (with a
+      per-client offset) from [requests], timing every round trip.
+      Latency percentiles are nearest-rank over all requests. *)
+
+  val to_json : ?extra:(string * string) list -> stats -> string
+  (** One-line JSON for METRICS output; [extra] fields are prepended
+      (values must already be rendered as JSON). *)
+end

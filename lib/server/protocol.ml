@@ -1,0 +1,177 @@
+module R = Dc_relational
+module C = Dc_citation
+
+type request =
+  | Cite of string
+  | Cite_param of { view : string; bindings : (string * R.Value.t) list }
+  | Stats
+  | Health
+  | Quit
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+
+let split_first line =
+  match String.index_opt line ' ' with
+  | None -> (line, "")
+  | Some i ->
+      ( String.sub line 0 i,
+        String.trim (String.sub line i (String.length line - i)) )
+
+(* The same scalar coercion the CLI and REPL apply to NAME=VALUE
+   parameters: an integer literal is an Int, everything else a Str. *)
+let parse_scalar s =
+  match int_of_string_opt s with
+  | Some n -> R.Value.Int n
+  | None -> R.Value.Str s
+
+let parse_binding s =
+  match String.index_opt s '=' with
+  | None -> Error (Printf.sprintf "bad binding %S (want NAME=VALUE)" s)
+  | Some i ->
+      let name = String.sub s 0 i in
+      let value = String.sub s (i + 1) (String.length s - i - 1) in
+      if name = "" then Error (Printf.sprintf "bad binding %S: empty name" s)
+      else Ok (name, parse_scalar value)
+
+let parse_bindings s =
+  let parts =
+    String.split_on_char ',' s |> List.map String.trim
+    |> List.filter (fun p -> p <> "")
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | p :: rest -> (
+        match parse_binding p with
+        | Ok b -> go (b :: acc) rest
+        | Error e -> Error e)
+  in
+  go [] parts
+
+let strip_cr line =
+  let n = String.length line in
+  if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
+let parse_request line =
+  let line = String.trim (strip_cr line) in
+  if line = "" then Error "empty request"
+  else
+    let cmd, rest = split_first line in
+    match String.uppercase_ascii cmd with
+    | "CITE" ->
+        if rest = "" then Error "CITE: missing query" else Ok (Cite rest)
+    | "CITE_PARAM" ->
+        let view, kvs = split_first rest in
+        if view = "" then Error "CITE_PARAM: missing view name"
+        else
+          Result.map
+            (fun bindings -> Cite_param { view; bindings })
+            (parse_bindings kvs)
+    | "STATS" ->
+        if rest = "" then Ok Stats else Error "STATS takes no arguments"
+    | "HEALTH" ->
+        if rest = "" then Ok Health else Error "HEALTH takes no arguments"
+    | "QUIT" -> if rest = "" then Ok Quit else Error "QUIT takes no arguments"
+    | other ->
+        Error
+          (Printf.sprintf
+             "unknown command %S (want CITE, CITE_PARAM, STATS, HEALTH or QUIT)"
+             other)
+
+let render_request = function
+  | Cite q -> "CITE " ^ q
+  | Cite_param { view; bindings } ->
+      let kvs =
+        String.concat ","
+          (List.map (fun (n, v) -> n ^ "=" ^ R.Value.to_string v) bindings)
+      in
+      if kvs = "" then "CITE_PARAM " ^ view
+      else Printf.sprintf "CITE_PARAM %s %s" view kvs
+  | Stats -> "STATS"
+  | Health -> "HEALTH"
+  | Quit -> "QUIT"
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let jstr s = Printf.sprintf "\"%s\"" (json_escape s)
+
+(* Wire invariant: exactly one line per response.  [\n]s introduced by
+   embedded renderers would break framing, so squash defensively. *)
+let one_line s = String.map (fun c -> if c = '\n' || c = '\r' then ' ' else c) s
+
+let obj fields =
+  "{"
+  ^ String.concat "," (List.map (fun (k, v) -> jstr k ^ ":" ^ v) fields)
+  ^ "}"
+
+let err_prefix = "ERR "
+
+let error_line msg = err_prefix ^ obj [ ("error", jstr (one_line msg)) ]
+
+let ok_cite ~query ~expr ~citations ~complete ~tuples ~rewritings ~ms =
+  one_line
+    (obj
+       [
+         ("ok", "true");
+         ("query", jstr query);
+         ("expr", jstr expr);
+         ("citations", C.Fmt_citation.render C.Fmt_citation.Json citations);
+         ("complete", string_of_bool complete);
+         ("tuples", string_of_int tuples);
+         ("rewritings", string_of_int rewritings);
+         ("ms", Printf.sprintf "%.3f" ms);
+       ])
+
+let ok_citation ~view ~citation ~ms =
+  one_line
+    (obj
+       [
+         ("ok", "true");
+         ("view", jstr view);
+         ( "citation",
+           C.Fmt_citation.render_citation C.Fmt_citation.Json citation );
+         ("ms", Printf.sprintf "%.3f" ms);
+       ])
+
+let ok_stats ~stats_json = obj [ ("ok", "true"); ("stats", stats_json) ]
+
+let ok_health ~uptime_s ~views ~relations ~tuples =
+  obj
+    [
+      ("ok", "true");
+      ("status", jstr "serving");
+      ("uptime_s", Printf.sprintf "%.1f" uptime_s);
+      ("views", string_of_int views);
+      ("relations", string_of_int relations);
+      ("tuples", string_of_int tuples);
+    ]
+
+let ok_bye = obj [ ("ok", "true"); ("bye", "true") ]
+
+let classify_response line =
+  let line = strip_cr line in
+  let starts_with p =
+    String.length line >= String.length p
+    && String.sub line 0 (String.length p) = p
+  in
+  if starts_with err_prefix then
+    `Err (String.sub line 4 (String.length line - 4))
+  else if starts_with "{" then `Ok line
+  else `Malformed

@@ -1,0 +1,71 @@
+(** The citation server's wire protocol: a pure, I/O-free codec.
+
+    Requests are single lines; the first whitespace-delimited word is
+    the command, case-insensitive:
+
+    {v
+      CITE <conjunctive query>
+      CITE_PARAM <view> [NAME=VALUE[,NAME=VALUE...]]
+      STATS
+      HEALTH
+      QUIT
+    v}
+
+    Responses are single lines too: success is a JSON object starting
+    with [{], failure is [ERR {"error":"..."}].  A trailing [\r] (telnet
+    / [nc -C] clients) is tolerated on requests.
+
+    [parse_request] is total — any byte sequence yields [Ok] or [Error],
+    never an exception — which keeps the codec fuzz-friendly and means a
+    malformed request can only ever cost its own [ERR] line. *)
+
+type request =
+  | Cite of string  (** cite a Datalog query, e.g. [Q(X) :- R(X,Y)] *)
+  | Cite_param of {
+      view : string;
+      bindings : (string * Dc_relational.Value.t) list;
+    }
+      (** resolve one citation view at a parameter valuation (the
+          engine's leaf resolver) *)
+  | Stats  (** engine + server metrics as JSON *)
+  | Health  (** liveness probe with coarse engine facts *)
+  | Quit  (** close this connection *)
+
+val parse_request : string -> (request, string) result
+
+val render_request : request -> string
+(** Inverse of {!parse_request} up to whitespace and scalar formatting
+    (an integer-shaped string value re-parses as an [Int]). *)
+
+(** {2 Response builders} *)
+
+val ok_cite :
+  query:string ->
+  expr:string ->
+  citations:Dc_citation.Citation.Set.t ->
+  complete:bool ->
+  tuples:int ->
+  rewritings:int ->
+  ms:float ->
+  string
+
+val ok_citation :
+  view:string -> citation:Dc_citation.Citation.t -> ms:float -> string
+
+val ok_stats : stats_json:string -> string
+(** Wraps an already-rendered {!Dc_citation.Metrics.to_json} object. *)
+
+val ok_health :
+  uptime_s:float -> views:int -> relations:int -> tuples:int -> string
+
+val ok_bye : string
+
+val error_line : string -> string
+(** [ERR {"error":"<msg>"}] with the message JSON-escaped and squashed
+    to one line. *)
+
+val classify_response :
+  string -> [ `Ok of string | `Err of string | `Malformed ]
+(** Client-side triage: [`Ok json] for a success object, [`Err json]
+    for an [ERR] line (payload without the prefix), [`Malformed] for
+    anything else. *)

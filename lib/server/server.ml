@@ -1,0 +1,375 @@
+module C = Dc_citation
+module R = Dc_relational
+
+let log_src = Logs.Src.create "datacite.server" ~doc:"Citation server"
+
+module Log = (val Logs.src_log log_src)
+
+type config = {
+  host : string;
+  port : int;
+  workers : int;
+  queue_capacity : int;
+  request_timeout_s : float;
+  max_line_bytes : int;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 7421;
+    workers = 4;
+    queue_capacity = 64;
+    request_timeout_s = 30.;
+    max_line_bytes = 1 lsl 16;
+  }
+
+type state = Serving | Draining | Stopped
+
+type t = {
+  engine : C.Engine.t;
+  config : config;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  pool : Worker_pool.t;
+  mu : Mutex.t;
+  mutable state : state;
+  mutable conns : Unix.file_descr list;
+  mutable conn_threads : Thread.t list;
+  mutable accept_thread : Thread.t option;
+  started_at : float;
+  stop_requested : bool Atomic.t;
+}
+
+let port t = t.bound_port
+
+(* ------------------------------------------------------------------ *)
+(* One-shot result cells.  Stdlib [Condition] has no timed wait, so the
+   reader polls at a 2ms grain — coarse enough to be free, fine enough
+   that request latency is dominated by the engine, not the wait. *)
+
+type 'a ivar = { imu : Mutex.t; mutable cell : 'a option }
+
+let ivar () = { imu = Mutex.create (); cell = None }
+
+let ivar_fill iv v =
+  Mutex.lock iv.imu;
+  if iv.cell = None then iv.cell <- Some v;
+  Mutex.unlock iv.imu
+
+let ivar_await iv ~timeout_s =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go () =
+    Mutex.lock iv.imu;
+    let v = iv.cell in
+    Mutex.unlock iv.imu;
+    match v with
+    | Some _ -> v
+    | None ->
+        if Unix.gettimeofday () >= deadline then None
+        else begin
+          Thread.delay 0.002;
+          go ()
+        end
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Request execution (runs on a pool worker).                          *)
+
+let record_err m =
+  C.Metrics.record C.Metrics.Key.server_errors;
+  C.Metrics.incr m C.Metrics.Key.server_errors
+
+(* [Metrics.record] reaches the default registry and any sink in scope;
+   worker threads are not inside a [with_sink], so engine-local counts
+   are bumped explicitly. *)
+let record_req m =
+  C.Metrics.record C.Metrics.Key.server_requests;
+  C.Metrics.incr m C.Metrics.Key.server_requests
+
+let execute t (req : Protocol.request) =
+  let m = C.Engine.metrics t.engine in
+  C.Metrics.with_sink m @@ fun () ->
+  let t0 = Unix.gettimeofday () in
+  let ms () = (Unix.gettimeofday () -. t0) *. 1000. in
+  match req with
+  | Protocol.Quit -> Protocol.ok_bye
+  | Protocol.Stats ->
+      C.Metrics.record_time "server_stats" @@ fun () ->
+      Protocol.ok_stats ~stats_json:(C.Metrics.to_json m)
+  | Protocol.Health ->
+      let db = C.Engine.database t.engine in
+      Protocol.ok_health
+        ~uptime_s:(Unix.gettimeofday () -. t.started_at)
+        ~views:(C.Citation_view.Set.size (C.Engine.citation_views t.engine))
+        ~relations:(List.length (R.Database.relation_names db))
+        ~tuples:(R.Database.total_tuples db)
+  | Protocol.Cite q -> (
+      C.Metrics.record_time "server_cite" @@ fun () ->
+      match C.Engine.cite_string t.engine q with
+      | Error e ->
+          record_err m;
+          Protocol.error_line e
+      | Ok result ->
+          Protocol.ok_cite ~query:q
+            ~expr:(C.Cite_expr.to_string result.result_expr)
+            ~citations:result.result_citations ~complete:result.complete
+            ~tuples:(List.length result.tuples)
+            ~rewritings:(List.length result.rewritings)
+            ~ms:(ms ())
+      | exception ex ->
+          record_err m;
+          Protocol.error_line ("cite failed: " ^ Printexc.to_string ex))
+  | Protocol.Cite_param { view; bindings } -> (
+      C.Metrics.record_time "server_cite_param" @@ fun () ->
+      match
+        C.Citation_view.Set.find (C.Engine.citation_views t.engine) view
+      with
+      | None ->
+          record_err m;
+          Protocol.error_line (Printf.sprintf "unknown view %s" view)
+      | Some _ -> (
+          match
+            C.Engine.resolve_leaf t.engine { view; params = bindings }
+          with
+          | citation -> Protocol.ok_citation ~view ~citation ~ms:(ms ())
+          | exception ex ->
+              record_err m;
+              Protocol.error_line
+                (Printf.sprintf "%s: %s" view (Printexc.to_string ex))))
+
+(* ------------------------------------------------------------------ *)
+(* Connection handling (one lightweight reader thread per connection). *)
+
+let serving t =
+  Mutex.lock t.mu;
+  let s = t.state in
+  Mutex.unlock t.mu;
+  s = Serving
+
+let handle_request t ~send line =
+  let m = C.Engine.metrics t.engine in
+  record_req m;
+  if String.length line > t.config.max_line_bytes then begin
+    record_err m;
+    send (Protocol.error_line "request line too long");
+    `Continue
+  end
+  else
+    match Protocol.parse_request line with
+    | Error e ->
+        record_err m;
+        send (Protocol.error_line e);
+        `Continue
+    | Ok Protocol.Quit ->
+        send Protocol.ok_bye;
+        `Close
+    | Ok req ->
+        if not (serving t) then begin
+          record_err m;
+          send (Protocol.error_line "server shutting down");
+          `Continue
+        end
+        else begin
+          let iv = ivar () in
+          (match
+             Worker_pool.submit t.pool (fun () ->
+                 ivar_fill iv
+                   (try execute t req
+                    with ex ->
+                      record_err m;
+                      Protocol.error_line
+                        ("internal error: " ^ Printexc.to_string ex)))
+           with
+          | Worker_pool.Shutting_down ->
+              record_err m;
+              send (Protocol.error_line "server shutting down")
+          | Worker_pool.Overloaded ->
+              record_err m;
+              send (Protocol.error_line "server overloaded (queue full)")
+          | Worker_pool.Accepted -> (
+              C.Metrics.record_max m C.Metrics.Key.server_queue_depth
+                (Worker_pool.high_water t.pool);
+              C.Metrics.record_max C.Metrics.default
+                C.Metrics.Key.server_queue_depth
+                (Worker_pool.high_water t.pool);
+              match ivar_await iv ~timeout_s:t.config.request_timeout_s with
+              | Some response -> send response
+              | None ->
+                  record_err m;
+                  send (Protocol.error_line "request timed out")));
+          `Continue
+        end
+
+(* Removing a connection and closing its descriptor happen under the
+   server mutex, so [stop]'s shutdown sweep (same mutex) can never touch
+   a descriptor number the OS has already recycled. *)
+let close_conn t fd =
+  Mutex.lock t.mu;
+  t.conns <- List.filter (fun c -> c <> fd) t.conns;
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Mutex.unlock t.mu
+
+let handle_conn t fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let send line =
+    try
+      output_string oc line;
+      output_char oc '\n';
+      flush oc
+    with Sys_error _ -> ()
+  in
+  let rec loop () =
+    match input_line ic with
+    | exception (End_of_file | Sys_error _) -> ()
+    | exception Unix.Unix_error _ -> ()
+    | line -> ( match handle_request t ~send line with
+        | `Continue -> loop ()
+        | `Close -> ())
+  in
+  loop ();
+  close_conn t fd
+
+(* [Unix.close] on another thread does not wake a blocked [accept] on
+   Linux, so the loop polls readiness with a short [select] and
+   re-checks the state between polls. *)
+let accept_loop t =
+  let rec go () =
+    if not (serving t) then ()
+    else
+      match Unix.select [ t.listen_fd ] [] [] 0.05 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error (_, _, _) -> () (* listener closed *)
+      | [], _, _ -> go ()
+      | _ -> (
+          match Unix.accept t.listen_fd with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+          | exception Unix.Unix_error (_, _, _) -> ()
+          | fd, _ ->
+              if serving t then begin
+                Mutex.lock t.mu;
+                t.conns <- fd :: t.conns;
+                t.conn_threads <-
+                  Thread.create (fun () -> handle_conn t fd) ()
+                  :: t.conn_threads;
+                Mutex.unlock t.mu
+              end
+              else (try Unix.close fd with Unix.Unix_error _ -> ());
+              go ())
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+
+let start ?(config = default_config) engine =
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+     Unix.bind listen_fd
+       (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port));
+     Unix.listen listen_fd 64
+   with ex ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     raise ex);
+  let bound_port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> config.port
+  in
+  let t =
+    {
+      engine;
+      config;
+      listen_fd;
+      bound_port;
+      pool =
+        Worker_pool.create ~workers:config.workers
+          ~queue_capacity:config.queue_capacity;
+      mu = Mutex.create ();
+      state = Serving;
+      conns = [];
+      conn_threads = [];
+      accept_thread = None;
+      started_at = Unix.gettimeofday ();
+      stop_requested = Atomic.make false;
+    }
+  in
+  t.accept_thread <- Some (Thread.create accept_loop t);
+  Log.info (fun m -> m "listening on %s:%d" config.host bound_port);
+  t
+
+let stopped t =
+  Mutex.lock t.mu;
+  let s = t.state in
+  Mutex.unlock t.mu;
+  s = Stopped
+
+(* Polling, not [Condition.wait]: OCaml signal handlers run at poll
+   points on the main thread, and a main thread parked in
+   [pthread_cond_wait] never reaches one (the wait restarts on EINTR).
+   [Thread.delay] returns to OCaml regularly, so Ctrl-C works while the
+   main thread sits in [wait]. *)
+let wait t =
+  while not (stopped t) do
+    Thread.delay 0.05
+  done
+
+let stop t =
+  Mutex.lock t.mu;
+  let proceed = t.state = Serving in
+  if proceed then t.state <- Draining;
+  Mutex.unlock t.mu;
+  if not proceed then wait t
+  else begin
+    Log.info (fun m -> m "draining: refusing new work");
+    (* 1. stop accepting connections.  The accept loop notices Draining
+       at its next poll; the shutdown additionally wakes a blocked
+       [accept] on platforms that support it. *)
+    (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL
+     with Unix.Unix_error _ -> ());
+    Option.iter Thread.join t.accept_thread;
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    (* 2. drain: every accepted request finishes and is answered *)
+    Worker_pool.shutdown t.pool;
+    (* 3. kick idle readers: shutting down the receive side makes their
+       blocked [input_line] return EOF while leaving in-flight responses
+       free to write out.  Done under the mutex — every fd still in
+       [t.conns] is open, because removal and close share the lock. *)
+    Mutex.lock t.mu;
+    List.iter
+      (fun fd ->
+        try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE
+        with Unix.Unix_error _ -> ())
+      t.conns;
+    let threads = t.conn_threads in
+    t.conn_threads <- [];
+    Mutex.unlock t.mu;
+    List.iter Thread.join threads;
+    Mutex.lock t.mu;
+    t.state <- Stopped;
+    Mutex.unlock t.mu;
+    Log.info (fun m -> m "stopped")
+  end
+
+let request_stop t = Atomic.set t.stop_requested true
+
+let install_signal_handlers t =
+  let previous = ref [] in
+  let handler = Sys.Signal_handle (fun _ -> request_stop t) in
+  List.iter
+    (fun s -> previous := (s, Sys.signal s handler) :: !previous)
+    [ Sys.sigint; Sys.sigterm ];
+  (* Signal handlers must not block, so the handler only flips a flag; a
+     watcher thread turns it into the (joining) graceful stop. *)
+  ignore
+    (Thread.create
+       (fun () ->
+         while not (Atomic.get t.stop_requested) && not (stopped t) do
+           Thread.delay 0.05
+         done;
+         if Atomic.get t.stop_requested then stop t)
+       ());
+  fun () -> List.iter (fun (s, b) -> Sys.set_signal s b) !previous

@@ -1,0 +1,67 @@
+(** The citation-serving daemon: a TCP server holding one warm
+    {!Dc_citation.Engine.t} and answering the line protocol of
+    {!Protocol} — the paper's §3 "citations computed at the time the
+    data is being cited", as an online service.
+
+    Architecture: an accept loop hands each connection to a lightweight
+    reader thread; every parsed request becomes a job on a bounded
+    {!Worker_pool} (backpressure: a full queue answers
+    [ERR "server overloaded"] instead of buffering); the reader waits
+    for the job's response up to [request_timeout_s] and writes it back.
+    Request failures of any kind — parse errors, unknown views, engine
+    exceptions, timeouts — cost exactly one [ERR] line on that
+    connection; they never kill the connection, a worker, or the server.
+
+    Every request bumps {!Dc_citation.Metrics} ([server_requests],
+    [server_errors], [server_queue_depth] high-water, and
+    [server_cite]/[server_cite_param]/[server_stats] timers) on the
+    engine's registry and the process default, so [STATS] serves the
+    same JSON shape as [datacite cite --stats] emits. *)
+
+type config = {
+  host : string;  (** bind address, default ["127.0.0.1"] *)
+  port : int;  (** [0] picks an ephemeral port (see {!port}) *)
+  workers : int;  (** worker-pool threads *)
+  queue_capacity : int;  (** pending-request bound before load-shedding *)
+  request_timeout_s : float;
+      (** per-request deadline; past it the client gets
+          [ERR "request timed out"] (the computation itself is not
+          interrupted) *)
+  max_line_bytes : int;  (** requests longer than this are refused *)
+}
+
+val default_config : config
+(** [127.0.0.1:7421], 4 workers, queue 64, 30s timeout, 64KiB lines. *)
+
+type t
+
+val start : ?config:config -> Dc_citation.Engine.t -> t
+(** Binds, listens and returns immediately; serving happens on
+    background threads.  The engine should have been created before
+    [start] so materialization cost is paid at startup, not on the
+    first request. *)
+
+val port : t -> int
+(** The actually-bound port (useful with [port = 0]). *)
+
+val stop : t -> unit
+(** Graceful shutdown: stop accepting connections, refuse new requests,
+    drain every accepted request (each gets its response), unblock idle
+    connections, join all threads.  Idempotent — concurrent callers
+    block until the stop completes. *)
+
+val wait : t -> unit
+(** Block until the server reaches the stopped state. *)
+
+val stopped : t -> bool
+
+val request_stop : t -> unit
+(** Async-signal-safe stop request: flips a flag that the watcher
+    thread installed by {!install_signal_handlers} turns into {!stop}.
+    Without that watcher, pair it with your own polling of {!stopped}. *)
+
+val install_signal_handlers : t -> unit -> unit
+(** Routes SIGINT and SIGTERM to {!request_stop} (drain in-flight,
+    refuse new) and starts the watcher thread performing the actual
+    stop.  Returns a restorer that reinstates the previous signal
+    behaviours — call it once the server has stopped (tests do). *)

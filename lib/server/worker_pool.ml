@@ -1,0 +1,78 @@
+type t = {
+  mu : Mutex.t;
+  nonempty : Condition.t;
+  jobs : (unit -> unit) Queue.t;
+  capacity : int;
+  mutable stopping : bool;
+  mutable high_water : int;
+  mutable threads : Thread.t list;
+}
+
+type submit_result = Accepted | Overloaded | Shutting_down
+
+let worker t =
+  let rec next () =
+    Mutex.lock t.mu;
+    while Queue.is_empty t.jobs && not t.stopping do
+      Condition.wait t.nonempty t.mu
+    done;
+    (* on shutdown the queue is drained before workers exit *)
+    if Queue.is_empty t.jobs then Mutex.unlock t.mu
+    else begin
+      let job = Queue.pop t.jobs in
+      Mutex.unlock t.mu;
+      (try job () with _ -> ());
+      next ()
+    end
+  in
+  next ()
+
+let create ~workers ~queue_capacity =
+  if workers < 1 then invalid_arg "Worker_pool.create: workers < 1";
+  if queue_capacity < 1 then
+    invalid_arg "Worker_pool.create: queue_capacity < 1";
+  let t =
+    {
+      mu = Mutex.create ();
+      nonempty = Condition.create ();
+      jobs = Queue.create ();
+      capacity = queue_capacity;
+      stopping = false;
+      high_water = 0;
+      threads = [];
+    }
+  in
+  t.threads <- List.init workers (fun _ -> Thread.create worker t);
+  t
+
+let submit t job =
+  Mutex.lock t.mu;
+  let result =
+    if t.stopping then Shutting_down
+    else if Queue.length t.jobs >= t.capacity then Overloaded
+    else begin
+      Queue.push job t.jobs;
+      let depth = Queue.length t.jobs in
+      if depth > t.high_water then t.high_water <- depth;
+      Condition.signal t.nonempty;
+      Accepted
+    end
+  in
+  Mutex.unlock t.mu;
+  result
+
+let high_water t =
+  Mutex.lock t.mu;
+  let hw = t.high_water in
+  Mutex.unlock t.mu;
+  hw
+
+let shutdown t =
+  Mutex.lock t.mu;
+  let already = t.stopping in
+  t.stopping <- true;
+  Condition.broadcast t.nonempty;
+  let threads = t.threads in
+  t.threads <- [];
+  Mutex.unlock t.mu;
+  if not already then List.iter Thread.join threads

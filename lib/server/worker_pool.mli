@@ -1,0 +1,28 @@
+(** A bounded pool of worker threads behind a backpressure queue.
+
+    Jobs are run FIFO by [workers] threads.  The queue holds at most
+    [queue_capacity] pending jobs: past that, {!submit} refuses with
+    [Overloaded] instead of buffering unboundedly — the caller turns
+    that into an overload error for its client.  Exceptions escaping a
+    job are swallowed; they never kill a worker. *)
+
+type t
+
+type submit_result =
+  | Accepted
+  | Overloaded  (** queue at capacity — shed load *)
+  | Shutting_down  (** {!shutdown} has begun — refuse new work *)
+
+val create : workers:int -> queue_capacity:int -> t
+(** Starts the worker threads immediately.
+    Raises [Invalid_argument] when either bound is < 1. *)
+
+val submit : t -> (unit -> unit) -> submit_result
+
+val high_water : t -> int
+(** Deepest the queue has ever been (pending jobs, not in-flight). *)
+
+val shutdown : t -> unit
+(** Graceful: refuse new submissions, let the workers drain every
+    already-accepted job, then join them.  Idempotent; blocks until the
+    drain completes. *)

@@ -1,0 +1,108 @@
+(* Server protocol codec: round trips, malformed input, response shapes. *)
+
+module P = Dc_server.Protocol
+module R = Dc_relational
+
+let req =
+  Alcotest.testable
+    (fun ppf r -> Format.pp_print_string ppf (P.render_request r))
+    ( = )
+
+let roundtrip name r () =
+  Alcotest.(check (result req string))
+    name (Ok r)
+    (P.parse_request (P.render_request r))
+
+let test_roundtrips () =
+  roundtrip "cite" (P.Cite "Q(X) :- Family(X,N,D)") ();
+  roundtrip "stats" P.Stats ();
+  roundtrip "health" P.Health ();
+  roundtrip "quit" P.Quit ();
+  roundtrip "cite_param no bindings"
+    (P.Cite_param { view = "V2"; bindings = [] })
+    ();
+  roundtrip "cite_param bindings"
+    (P.Cite_param
+       {
+         view = "V1";
+         bindings = [ ("FID", R.Value.Int 3); ("Name", R.Value.Str "gnrh") ];
+       })
+    ()
+
+let test_lenient_parse () =
+  Alcotest.(check (result req string))
+    "lowercase command"
+    (Ok (P.Cite "Q(X) :- R(X)"))
+    (P.parse_request "cite Q(X) :- R(X)");
+  Alcotest.(check (result req string))
+    "trailing CR" (Ok P.Stats) (P.parse_request "STATS\r");
+  Alcotest.(check (result req string))
+    "surrounding blanks" (Ok P.Health)
+    (P.parse_request "  HEALTH  ");
+  Alcotest.(check (result req string))
+    "binding spaces"
+    (Ok (P.Cite_param { view = "V1"; bindings = [ ("A", R.Value.Int 1) ] }))
+    (P.parse_request "CITE_PARAM V1  A=1 ")
+
+let check_err name line =
+  match P.parse_request line with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "%s: expected parse error for %S" name line
+
+let test_malformed () =
+  check_err "empty" "";
+  check_err "blank" "   ";
+  check_err "unknown" "BOGUS x";
+  check_err "cite without query" "CITE";
+  check_err "cite_param without view" "CITE_PARAM";
+  check_err "cite_param bad binding" "CITE_PARAM V1 notabinding";
+  check_err "cite_param empty name" "CITE_PARAM V1 =3";
+  check_err "stats with args" "STATS now";
+  check_err "health with args" "HEALTH please";
+  check_err "quit with args" "QUIT 0"
+
+let test_parse_total =
+  Testutil.qtest "parse_request never raises" QCheck.string (fun s ->
+      match P.parse_request s with Ok _ | Error _ -> true)
+
+let test_error_line () =
+  let line = P.error_line "boom \"quoted\"\nsecond" in
+  Alcotest.(check bool) "ERR prefix" true (String.length line > 4);
+  Alcotest.(check string) "prefix" "ERR " (String.sub line 0 4);
+  Alcotest.(check bool)
+    "single line" false
+    (String.contains line '\n');
+  match P.classify_response line with
+  | `Err body ->
+      Alcotest.(check bool) "body is json" true (body.[0] = '{')
+  | `Ok _ | `Malformed -> Alcotest.fail "error_line must classify as `Err"
+
+let test_classify () =
+  (match P.classify_response P.ok_bye with
+  | `Ok _ -> ()
+  | _ -> Alcotest.fail "ok_bye is `Ok");
+  (match P.classify_response "garbage" with
+  | `Malformed -> ()
+  | _ -> Alcotest.fail "garbage is `Malformed");
+  match
+    P.classify_response
+      (P.ok_health ~uptime_s:1.5 ~views:3 ~relations:7 ~tuples:12)
+  with
+  | `Ok line ->
+      Alcotest.(check bool)
+        "health carries tuple count" true
+        (let sub = {|"tuples":12|} in
+         let n = String.length line and m = String.length sub in
+         let rec at i = i + m <= n && (String.sub line i m = sub || at (i + 1)) in
+         at 0)
+  | _ -> Alcotest.fail "ok_health is `Ok"
+
+let suite =
+  [
+    Alcotest.test_case "round trips" `Quick test_roundtrips;
+    Alcotest.test_case "lenient parsing" `Quick test_lenient_parse;
+    Alcotest.test_case "malformed requests" `Quick test_malformed;
+    test_parse_total;
+    Alcotest.test_case "error lines" `Quick test_error_line;
+    Alcotest.test_case "classify responses" `Quick test_classify;
+  ]

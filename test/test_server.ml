@@ -1,0 +1,133 @@
+(* Loopback integration tests for the citation server: concurrent
+   clients, error isolation, metrics consistency, graceful shutdown. *)
+
+module C = Dc_citation
+module S = Dc_server
+
+let fresh_server () =
+  let engine =
+    C.Engine.create
+      (Dc_gtopdb.Paper_views.example_database ())
+      Dc_gtopdb.Paper_views.all
+  in
+  let config = { S.Server.default_config with port = 0; workers = 4 } in
+  (engine, S.Server.start ~config engine)
+
+let with_server f =
+  let engine, server = fresh_server () in
+  Fun.protect ~finally:(fun () -> S.Server.stop server) (fun () ->
+      f engine server)
+
+let request server line =
+  let conn = S.Client.connect ~port:(S.Server.port server) () in
+  Fun.protect ~finally:(fun () -> S.Client.close conn) (fun () ->
+      S.Client.request conn line)
+
+let expect_ok name = function
+  | Some line -> (
+      match S.Protocol.classify_response line with
+      | `Ok body -> body
+      | `Err e -> Alcotest.failf "%s: unexpected ERR %s" name e
+      | `Malformed -> Alcotest.failf "%s: malformed response %S" name line)
+  | None -> Alcotest.failf "%s: connection closed" name
+
+let contains line sub =
+  let n = String.length line and m = String.length sub in
+  let rec at i = i + m <= n && (String.sub line i m = sub || at (i + 1)) in
+  at 0
+
+let cite_q = "CITE Q(N) :- Family(F,N,D)"
+
+let test_cite_roundtrip () =
+  with_server @@ fun _engine server ->
+  let body = expect_ok "cite" (request server cite_q) in
+  Alcotest.(check bool) "complete" true (contains body {|"complete":true|});
+  Alcotest.(check bool) "has citations" true (contains body {|"citations":[|});
+  let health = expect_ok "health" (request server "HEALTH") in
+  Alcotest.(check bool) "serving" true (contains health {|"status":"serving"|})
+
+let test_error_isolation () =
+  with_server @@ fun _engine server ->
+  let conn = S.Client.connect ~port:(S.Server.port server) () in
+  Fun.protect ~finally:(fun () -> S.Client.close conn) @@ fun () ->
+  (* a malformed request costs one ERR line, nothing else *)
+  (match S.Client.request conn "BOGUS nonsense" with
+  | Some line when String.length line >= 4 && String.sub line 0 4 = "ERR " ->
+      ()
+  | other ->
+      Alcotest.failf "expected ERR, got %s"
+        (Option.value ~default:"<closed>" other));
+  (* same connection still serves *)
+  let body = expect_ok "cite after error" (S.Client.request conn cite_q) in
+  Alcotest.(check bool) "still complete" true
+    (contains body {|"complete":true|});
+  (* unknown view and unknown relation are errors, not disconnects *)
+  (match S.Client.request conn "CITE_PARAM NoSuchView X=1" with
+  | Some line -> (
+      match S.Protocol.classify_response line with
+      | `Err _ -> ()
+      | _ -> Alcotest.failf "unknown view should ERR, got %S" line)
+  | None -> Alcotest.fail "connection closed on unknown view");
+  match S.Client.request conn "QUIT" with
+  | Some line ->
+      Alcotest.(check bool) "bye" true (contains line {|"bye":true|})
+  | None -> Alcotest.fail "no QUIT response"
+
+let test_concurrent_clients () =
+  with_server @@ fun engine server ->
+  let requests = [ cite_q; "STATS"; "HEALTH"; cite_q ] in
+  let stats =
+    S.Client.Load.run ~port:(S.Server.port server) ~clients:4
+      ~requests_per_client:25 ~requests ()
+  in
+  Alcotest.(check int) "all answered" 100 stats.requests;
+  Alcotest.(check int) "no errors" 0 stats.errors;
+  (* every request line (100 + 4 QUITs) is counted on the engine registry *)
+  let m = C.Engine.metrics engine in
+  Alcotest.(check int)
+    "server_requests consistent" 104
+    (C.Metrics.count m C.Metrics.Key.server_requests);
+  Alcotest.(check int)
+    "no server errors" 0
+    (C.Metrics.count m C.Metrics.Key.server_errors);
+  (* STATS serves those counters in the cite --stats JSON shape *)
+  let body = expect_ok "stats" (request server "STATS") in
+  Alcotest.(check bool) "counters" true (contains body {|"counters":{|});
+  Alcotest.(check bool) "timers" true (contains body {|"timers":{|});
+  Alcotest.(check bool)
+    "server_requests surfaced" true
+    (contains body {|"server_requests":10|})
+
+let test_graceful_shutdown () =
+  let engine, server = fresh_server () in
+  ignore engine;
+  let restore = S.Server.install_signal_handlers server in
+  let port = S.Server.port server in
+  let body = expect_ok "pre-stop cite" (request server cite_q) in
+  Alcotest.(check bool) "served" true (contains body {|"complete":true|});
+  Unix.kill (Unix.getpid ()) Sys.sigterm;
+  S.Server.wait server;
+  restore ();
+  Alcotest.(check bool) "stopped" true (S.Server.stopped server);
+  (match S.Client.connect ~port () with
+  | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> ()
+  | exception Unix.Unix_error _ -> ()
+  | conn ->
+      (* accept may race the very last moment of shutdown; a closed or
+         refused connection both count as "refusing new work" *)
+      (match S.Client.request conn cite_q with
+      | None -> ()
+      | Some line ->
+          Alcotest.failf "post-stop request was answered: %S" line);
+      S.Client.close conn);
+  (* stop is idempotent after a signal-driven stop *)
+  S.Server.stop server
+
+let suite =
+  [
+    Alcotest.test_case "cite over loopback" `Quick test_cite_roundtrip;
+    Alcotest.test_case "error isolation" `Quick test_error_isolation;
+    Alcotest.test_case "4 concurrent clients" `Quick test_concurrent_clients;
+    Alcotest.test_case "graceful shutdown on SIGTERM" `Quick
+      test_graceful_shutdown;
+  ]
