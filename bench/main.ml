@@ -112,6 +112,7 @@ let () =
       ("E11", Experiments.e11);
       ("E12", Experiments.e12);
       ("E13", Experiments.e13);
+      ("E14", Experiments.e14);
     ]
   in
   let to_run =

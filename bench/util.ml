@@ -35,3 +35,26 @@ let header widths cells =
 
 let ms v = Printf.sprintf "%.2f" v
 let pct v = Printf.sprintf "%.0f%%" (100. *. v)
+
+(* Machine-readable benchmark output.  Each experiment that wants a
+   diffable perf trajectory across PRs writes BENCH_<EXP>.json in the
+   working directory (CI uploads them as artifacts).  Values are
+   pre-rendered JSON fragments; keys are escaped here. *)
+
+let json_obj fields =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "%S:%s" k v) fields)
+  ^ "}"
+
+let json_list items = "[" ^ String.concat "," items ^ "]"
+let json_str s = Printf.sprintf "%S" s
+let json_ms v = Printf.sprintf "%.3f" v
+
+let write_bench_json ~experiment fields =
+  let path = Printf.sprintf "BENCH_%s.json" experiment in
+  let oc = open_out path in
+  output_string oc (json_obj (("experiment", json_str experiment) :: fields));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" path

@@ -59,11 +59,22 @@ let port_arg =
     & info [ "port"; "p" ] ~docv:"PORT" ~doc)
 
 let workers_arg =
-  let doc = "Worker threads executing requests." in
+  let doc = "Worker threads executing requests (ignored with --domains > 1)." in
   Arg.(
     value
     & opt int S.Server.default_config.workers
     & info [ "workers" ] ~docv:"N" ~doc)
+
+let domains_arg =
+  let doc =
+    "Parallel domains: 1 serves on worker threads over one engine; N > 1 \
+     serves on N domains over N engine shards (see README, \"Parallel \
+     evaluation\")."
+  in
+  Arg.(
+    value
+    & opt int S.Server.default_config.domains
+    & info [ "domains" ] ~docv:"N" ~doc)
 
 let queue_arg =
   let doc = "Pending-request queue bound before load shedding." in
@@ -79,7 +90,7 @@ let timeout_arg =
     & opt float S.Server.default_config.request_timeout_s
     & info [ "timeout" ] ~docv:"SECONDS" ~doc)
 
-let run data views demo host port workers queue timeout =
+let run data views demo host port workers domains queue timeout =
   let db, cvs =
     if demo then
       (Dc_gtopdb.Paper_views.example_database (), Dc_gtopdb.Paper_views.all)
@@ -98,6 +109,7 @@ let run data views demo host port workers queue timeout =
       host;
       port;
       workers;
+      domains;
       queue_capacity = queue;
       request_timeout_s = timeout;
     }
@@ -116,7 +128,7 @@ let () =
   let term =
     Term.(
       const run $ data_arg $ views_arg $ demo_arg $ host_arg $ port_arg
-      $ workers_arg $ queue_arg $ timeout_arg)
+      $ workers_arg $ domains_arg $ queue_arg $ timeout_arg)
   in
   let info =
     Cmd.info "datacite-server" ~version:"1.0.0"

@@ -44,9 +44,13 @@ type t = {
   eval_cache : Cq.Eval.cache;
   plans : plan_cache;
   metrics : Metrics.t;
+  (* Optional domain pool: when present, the rewriting search inside
+     [plan_for] verifies candidates in parallel across its domains. *)
+  pool : Dc_parallel.Domain_pool.t option;
   (* Guards every shared mutable cache (plan, leaf, eval) so one engine
      can serve concurrent threads (the server's worker pool).  [refresh]
-     and [with_databases] copies share the caches, hence also the lock. *)
+     and [with_databases] copies share the caches, hence also the lock;
+     [replicate] shards get fresh caches and a fresh lock. *)
   lock : Mutex.t;
 }
 
@@ -63,7 +67,7 @@ let materialize ?cache base cviews =
     (Citation_view.Set.to_list cviews)
 
 let create ?(policy = Policy.default) ?(selection = `Min_estimated_size)
-    ?(partial = false) ?(fallback_contained = false) base cview_list =
+    ?(partial = false) ?(fallback_contained = false) ?pool base cview_list =
   List.iter
     (fun cv ->
       let n = Citation_view.name cv in
@@ -103,6 +107,21 @@ let create ?(policy = Policy.default) ?(selection = `Min_estimated_size)
        starts cold *)
     plans = { by_render = Hashtbl.create 16; by_preds = Hashtbl.create 16 };
     metrics;
+    pool;
+    lock = Mutex.create ();
+  }
+
+(* A shard replica: same immutable data (base, materialized views, view
+   set, policy, pool) and the same metrics registry, but private caches
+   and a private lock.  Replicas therefore never contend on the hot
+   path — that is the whole point of sharding — at the price of each
+   shard warming its own plan/leaf/eval caches. *)
+let replicate e =
+  {
+    e with
+    leaf_cache = Hashtbl.create 64;
+    eval_cache = Cq.Eval.make_cache ();
+    plans = { by_render = Hashtbl.create 16; by_preds = Hashtbl.create 16 };
     lock = Mutex.create ();
   }
 
@@ -255,7 +274,8 @@ let plan_for e query =
           Metrics.record Metrics.Key.plan_cache_misses;
           let rewritings, stats =
             Metrics.record_time "rewrite" (fun () ->
-                Rw.Rewrite.rewritings ~partial:e.partial e.views stripped)
+                Rw.Rewrite.rewritings ~partial:e.partial ?pool:e.pool e.views
+                  stripped)
           in
           let plan =
             {

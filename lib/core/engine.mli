@@ -15,17 +15,31 @@
       result-level [Agg], and their policy-evaluated concrete citation
       sets; leaf citations are memoized per (view, valuation).
 
-    {b Thread safety.}  One engine may serve {!cite} / {!cite_string} /
-    {!resolve_leaf} calls from any number of threads concurrently (this
-    is what the [dc_server] worker pool does): the shared mutable caches
-    — rewriting plans, leaf citations, and the evaluation index cache —
-    are guarded by an internal mutex, and {!Metrics} is itself
-    thread-safe.  {!refresh} and {!with_databases} return copies sharing
-    those caches {e and the mutex}, so the copies are safe too; swapping
-    which engine a server uses is the caller's (atomic-reference)
-    problem.  The contract covers only access {e through} the engine:
-    code that takes the raw {!eval_cache} handle and evaluates with it
-    directly ({!Incremental} does) bypasses the lock and must not run
+    {b Thread safety: the shard-vs-mutex model.}  Concurrency safety
+    and parallel speedup are provided by two different mechanisms:
+
+    - {e mutex} — one engine may serve {!cite} / {!cite_string} /
+      {!resolve_leaf} calls from any number of threads {e or domains}
+      concurrently: the shared mutable caches — rewriting plans, leaf
+      citations, and the evaluation index cache — are guarded by an
+      internal mutex, and {!Metrics} is itself thread-safe.  This is
+      correct under systhreads and under domains alike, but the lock
+      serializes the cache-touching hot path, so it adds safety, not
+      parallelism.
+    - {e shards} — {!replicate} returns a replica sharing the immutable
+      data (base database, materialized views, view set, policy) and
+      the metrics registry, but owning {e private} caches and a private
+      lock.  Give each domain its own replica ({!Sharded_engine} does)
+      and the hot path never contends: parallel speedup comes from
+      sharding, the per-engine mutex remains only for intra-shard
+      concurrency (e.g. the systhread server path).
+
+    {!refresh} and {!with_databases} return copies sharing caches {e and
+    the mutex}, so the copies are safe too; swapping which engine a
+    server uses is the caller's (atomic-reference) problem.  The
+    contract covers only access {e through} the engine: code that takes
+    the raw {!eval_cache} handle and evaluates with it directly
+    ({!Incremental} does) bypasses the lock and must not run
     concurrently with citations on the same engine. *)
 
 type selection =
@@ -41,6 +55,7 @@ val create :
   ?selection:selection ->
   ?partial:bool ->
   ?fallback_contained:bool ->
+  ?pool:Dc_parallel.Domain_pool.t ->
   Dc_relational.Database.t ->
   Citation_view.t list ->
   t
@@ -50,7 +65,16 @@ val create :
     rewriting is answered {e best-effort} through its maximally
     contained rewriting: the tuples are then possibly a strict subset
     of the true answer ([result.complete = false]) but each carries a
-    citation. *)
+    citation.  With [pool], plan-cache misses verify rewriting
+    candidates in parallel across the pool's domains (results are
+    identical to the sequential search). *)
+
+val replicate : t -> t
+(** A shard replica: shares the immutable data (base database,
+    materialized views — nothing is rematerialized), the policy, the
+    metrics registry and the domain pool, but owns fresh private
+    plan/leaf/eval caches and a fresh lock.  See the thread-safety note
+    above; {!Sharded_engine} builds on this. *)
 
 val database : t -> Dc_relational.Database.t
 val citation_views : t -> Citation_view.Set.t

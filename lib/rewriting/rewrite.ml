@@ -100,21 +100,18 @@ let minimize_rewriting ?deps views query r =
   in
   go r
 
+let pred_key q =
+  String.concat ","
+    (List.sort String.compare (List.map Cq.Atom.pred (Cq.Query.body q)))
+
 let rewritings ?(strategy = Minicon) ?(partial = false)
-    ?(max_candidates = 100_000) views query =
+    ?(max_candidates = 100_000) ?pool views query =
   let query = Cq.Query.strip_params query in
   let candidates = ref 0 in
-  let verified = ref 0 in
   let truncated = ref false in
-  let kept : Cq.Query.t list ref = ref [] in
-  (* Duplicate detection: candidates can only be equivalent when they
-     use the same multiset of view predicates, so group by that key and
-     run the (quadratic) equivalence check within groups only. *)
-  let by_preds : (string, Cq.Query.t list) Hashtbl.t = Hashtbl.create 64 in
-  let pred_key q =
-    String.concat ","
-      (List.sort String.compare (List.map Cq.Atom.pred (Cq.Query.body q)))
-  in
+  (* Phase 1 — enumeration: a cheap sequential tree walk collecting
+     (index, atoms) pairs in candidate order, bounded by the budget. *)
+  let collected = ref [] in
   let consume atoms =
     incr candidates;
     !on_event Candidate;
@@ -122,13 +119,45 @@ let rewritings ?(strategy = Minicon) ?(partial = false)
       truncated := true;
       raise Budget_exhausted
     end;
-    match candidate_query query !candidates atoms with
-    | None -> ()
+    collected := (!candidates, atoms) :: !collected
+  in
+  (try enumerate ~strategy ~partial views query consume
+   with Budget_exhausted -> ());
+  let collected = List.rev !collected in
+  (* Phase 2 — verification (expansion equivalence) and minimization:
+     the expensive part, independent per candidate, so it fans out
+     across the pool's domains when one is given.  Results come back in
+     enumeration order either way. *)
+  let verify (k, atoms) =
+    match candidate_query query k atoms with
+    | None -> None
     | Some cand ->
         if Expansion.is_equivalent_rewriting views query cand then begin
-          incr verified;
           !on_event Verified;
-          let cand = minimize_rewriting views query cand in
+          Some (minimize_rewriting views query cand)
+        end
+        else None
+  in
+  let verdicts =
+    match pool with
+    | Some pool when Dc_parallel.Domain_pool.size pool > 1 ->
+        Dc_parallel.Domain_pool.parallel_map pool verify collected
+    | _ -> List.map verify collected
+  in
+  (* Phase 3 — deduplication, sequential and in enumeration order, so
+     the kept list (and hence the [_rw<i>] names) is byte-identical to
+     the single-domain run.  Candidates can only be equivalent when
+     they use the same multiset of view predicates, so group by that
+     key and run the (quadratic) equivalence check within groups
+     only. *)
+  let verified = ref 0 in
+  let kept : Cq.Query.t list ref = ref [] in
+  let by_preds : (string, Cq.Query.t list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (function
+      | None -> ()
+      | Some cand ->
+          incr verified;
           let key = pred_key cand in
           let group = Option.value ~default:[] (Hashtbl.find_opt by_preds key) in
           let duplicate =
@@ -140,11 +169,8 @@ let rewritings ?(strategy = Minicon) ?(partial = false)
                [List.rev] restores it (O(n) total, not O(n²) appends). *)
             kept := cand :: !kept;
             !on_event Kept
-          end
-        end
-  in
-  (try enumerate ~strategy ~partial views query consume
-   with Budget_exhausted -> ());
+          end)
+    verdicts;
   let kept =
     List.mapi
       (fun i r ->

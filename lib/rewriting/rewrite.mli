@@ -34,12 +34,19 @@ val rewritings :
   ?strategy:strategy ->
   ?partial:bool ->
   ?max_candidates:int ->
+  ?pool:Dc_parallel.Domain_pool.t ->
   View.Set.t ->
   Dc_cq.Query.t ->
   Dc_cq.Query.t list * stats
 (** Minimal equivalent rewritings, deduplicated up to view-level
     equivalence, named ["<q>_rw<i>"].  [max_candidates] (default
-    [100_000]) bounds the search. *)
+    [100_000]) bounds the search.
+
+    With [~pool], candidate {e verification} — expansion equivalence
+    plus minimization, the dominant cost — fans out across the pool's
+    domains; enumeration and deduplication stay sequential in candidate
+    order, so the returned rewritings (queries, names, order) and
+    [stats] are identical to the single-domain run. *)
 
 val equivalent_rewritings :
   ?partial:bool -> View.Set.t -> Dc_cq.Query.t -> Dc_cq.Query.t list

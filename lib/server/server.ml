@@ -12,6 +12,7 @@ type config = {
   queue_capacity : int;
   request_timeout_s : float;
   max_line_bytes : int;
+  domains : int;
 }
 
 let default_config =
@@ -22,12 +23,13 @@ let default_config =
     queue_capacity = 64;
     request_timeout_s = 30.;
     max_line_bytes = 1 lsl 16;
+    domains = 1;
   }
 
 type state = Serving | Draining | Stopped
 
 type t = {
-  engine : C.Engine.t;
+  shards : C.Sharded_engine.t;
   config : config;
   listen_fd : Unix.file_descr;
   bound_port : int;
@@ -42,6 +44,10 @@ type t = {
 }
 
 let port t = t.bound_port
+
+(* The primary shard: data-level reads (HEALTH, STATS) and the metrics
+   registry — which every replica shares — go through it. *)
+let engine t = C.Sharded_engine.primary t.shards
 
 (* ------------------------------------------------------------------ *)
 (* One-shot result cells.  Stdlib [Condition] has no timed wait, so the
@@ -88,8 +94,10 @@ let record_req m =
   C.Metrics.record C.Metrics.Key.server_requests;
   C.Metrics.incr m C.Metrics.Key.server_requests
 
-let execute t (req : Protocol.request) =
-  let m = C.Engine.metrics t.engine in
+(* [eng] is the shard this request was dispatched to; HEALTH and STATS
+   read through the primary (replicas share data and metrics anyway). *)
+let execute t eng (req : Protocol.request) =
+  let m = C.Engine.metrics eng in
   C.Metrics.with_sink m @@ fun () ->
   let t0 = Unix.gettimeofday () in
   let ms () = (Unix.gettimeofday () -. t0) *. 1000. in
@@ -99,15 +107,15 @@ let execute t (req : Protocol.request) =
       C.Metrics.record_time "server_stats" @@ fun () ->
       Protocol.ok_stats ~stats_json:(C.Metrics.to_json m)
   | Protocol.Health ->
-      let db = C.Engine.database t.engine in
+      let db = C.Engine.database (engine t) in
       Protocol.ok_health
         ~uptime_s:(Unix.gettimeofday () -. t.started_at)
-        ~views:(C.Citation_view.Set.size (C.Engine.citation_views t.engine))
+        ~views:(C.Citation_view.Set.size (C.Engine.citation_views (engine t)))
         ~relations:(List.length (R.Database.relation_names db))
         ~tuples:(R.Database.total_tuples db)
   | Protocol.Cite q -> (
       C.Metrics.record_time "server_cite" @@ fun () ->
-      match C.Engine.cite_string t.engine q with
+      match C.Engine.cite_string eng q with
       | Error e ->
           record_err m;
           Protocol.error_line e
@@ -124,14 +132,14 @@ let execute t (req : Protocol.request) =
   | Protocol.Cite_param { view; bindings } -> (
       C.Metrics.record_time "server_cite_param" @@ fun () ->
       match
-        C.Citation_view.Set.find (C.Engine.citation_views t.engine) view
+        C.Citation_view.Set.find (C.Engine.citation_views eng) view
       with
       | None ->
           record_err m;
           Protocol.error_line (Printf.sprintf "unknown view %s" view)
       | Some _ -> (
           match
-            C.Engine.resolve_leaf t.engine { view; params = bindings }
+            C.Engine.resolve_leaf eng { view; params = bindings }
           with
           | citation -> Protocol.ok_citation ~view ~citation ~ms:(ms ())
           | exception ex ->
@@ -149,7 +157,7 @@ let serving t =
   s = Serving
 
 let handle_request t ~send line =
-  let m = C.Engine.metrics t.engine in
+  let m = C.Engine.metrics (engine t) in
   record_req m;
   if String.length line > t.config.max_line_bytes then begin
     record_err m;
@@ -173,10 +181,13 @@ let handle_request t ~send line =
         end
         else begin
           let iv = ivar () in
+          (* shard chosen at submit time: round-robin, so consecutive
+             requests land on different replicas (different locks) *)
+          let eng = C.Sharded_engine.pick t.shards in
           (match
              Worker_pool.submit t.pool (fun () ->
                  ivar_fill iv
-                   (try execute t req
+                   (try execute t eng req
                     with ex ->
                       record_err m;
                       Protocol.error_line
@@ -264,7 +275,8 @@ let accept_loop t =
 (* ------------------------------------------------------------------ *)
 (* Lifecycle                                                           *)
 
-let start ?(config = default_config) engine =
+let start ?(config = default_config) eng =
+  if config.domains < 1 then invalid_arg "Server.start: domains < 1";
   let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
      Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
@@ -279,15 +291,21 @@ let start ?(config = default_config) engine =
     | Unix.ADDR_INET (_, p) -> p
     | _ -> config.port
   in
+  (* domains = 1: the PR-2 architecture — systhread workers interleaving
+     on one engine.  domains = N: one engine replica per domain-backed
+     worker, so requests on different workers run truly in parallel and
+     never contend on a shard lock. *)
+  let parallel = config.domains > 1 in
   let t =
     {
-      engine;
+      shards = C.Sharded_engine.of_engine ~shards:config.domains eng;
       config;
       listen_fd;
       bound_port;
       pool =
-        Worker_pool.create ~workers:config.workers
-          ~queue_capacity:config.queue_capacity;
+        Worker_pool.create ~domains:parallel
+          ~workers:(if parallel then config.domains else config.workers)
+          ~queue_capacity:config.queue_capacity ();
       mu = Mutex.create ();
       state = Serving;
       conns = [];
@@ -298,7 +316,9 @@ let start ?(config = default_config) engine =
     }
   in
   t.accept_thread <- Some (Thread.create accept_loop t);
-  Log.info (fun m -> m "listening on %s:%d" config.host bound_port);
+  Log.info (fun m ->
+      m "listening on %s:%d (%d domain(s))" config.host bound_port
+        config.domains);
   t
 
 let stopped t =

@@ -12,6 +12,14 @@
     exceptions, timeouts — cost exactly one [ERR] line on that
     connection; they never kill the connection, a worker, or the server.
 
+    With [config.domains = N > 1] the pool runs one OCaml 5 {e domain}
+    per worker and the engine is wrapped in a {!Dc_citation.Sharded_engine}
+    of [N] replicas (shared data and metrics, private caches and locks);
+    each request is dispatched round-robin to a shard, so requests
+    execute truly in parallel instead of interleaving on one runtime.
+    With [domains = 1] (the default) the behaviour is exactly the
+    systhread architecture above.
+
     Every request bumps {!Dc_citation.Metrics} ([server_requests],
     [server_errors], [server_queue_depth] high-water, and
     [server_cite]/[server_cite_param]/[server_stats] timers) on the
@@ -28,10 +36,15 @@ type config = {
           [ERR "request timed out"] (the computation itself is not
           interrupted) *)
   max_line_bytes : int;  (** requests longer than this are refused *)
+  domains : int;
+      (** [1] = systhread workers over one shared engine; [N > 1] = [N]
+          domain-backed workers over [N] engine shards ([workers] is
+          then ignored — parallelism is the worker count) *)
 }
 
 val default_config : config
-(** [127.0.0.1:7421], 4 workers, queue 64, 30s timeout, 64KiB lines. *)
+(** [127.0.0.1:7421], 4 workers, queue 64, 30s timeout, 64KiB lines,
+    1 domain. *)
 
 type t
 

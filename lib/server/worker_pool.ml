@@ -1,3 +1,13 @@
+let log_src = Logs.Src.create "datacite.worker_pool" ~doc:"Request worker pool"
+
+module Log = (val Logs.src_log log_src)
+
+(* Workers are either systhreads (concurrency on one domain: cheap,
+   jobs interleave at runtime-lock granularity) or domains (true
+   parallelism: each worker runs on its own core).  The queue machinery
+   is identical — stdlib Mutex/Condition are safe across both. *)
+type runner = Sys_thread of Thread.t | Dom of unit Domain.t
+
 type t = {
   mu : Mutex.t;
   nonempty : Condition.t;
@@ -5,10 +15,26 @@ type t = {
   capacity : int;
   mutable stopping : bool;
   mutable high_water : int;
-  mutable threads : Thread.t list;
+  mutable runners : runner list;
 }
 
 type submit_result = Accepted | Overloaded | Shutting_down
+
+(* A job failure costs that one request, never the worker.  Asynchronous
+   runtime exceptions are the exception: the heap or stack is already
+   compromised, so they are logged and re-raised (killing the worker)
+   rather than swallowed. *)
+let run_job job =
+  try job () with
+  | (Out_of_memory | Stack_overflow) as ex ->
+      Log.err (fun m ->
+          m "worker: fatal runtime exception %s — re-raising"
+            (Printexc.to_string ex));
+      raise ex
+  | ex ->
+      Log.err (fun m ->
+          m "worker: job raised %s@.%s" (Printexc.to_string ex)
+            (Printexc.get_backtrace ()))
 
 let worker t =
   let rec next () =
@@ -21,13 +47,13 @@ let worker t =
     else begin
       let job = Queue.pop t.jobs in
       Mutex.unlock t.mu;
-      (try job () with _ -> ());
+      run_job job;
       next ()
     end
   in
   next ()
 
-let create ~workers ~queue_capacity =
+let create ?(domains = false) ~workers ~queue_capacity () =
   if workers < 1 then invalid_arg "Worker_pool.create: workers < 1";
   if queue_capacity < 1 then
     invalid_arg "Worker_pool.create: queue_capacity < 1";
@@ -39,10 +65,13 @@ let create ~workers ~queue_capacity =
       capacity = queue_capacity;
       stopping = false;
       high_water = 0;
-      threads = [];
+      runners = [];
     }
   in
-  t.threads <- List.init workers (fun _ -> Thread.create worker t);
+  t.runners <-
+    List.init workers (fun _ ->
+        if domains then Dom (Domain.spawn (fun () -> worker t))
+        else Sys_thread (Thread.create worker t));
   t
 
 let submit t job =
@@ -72,7 +101,10 @@ let shutdown t =
   let already = t.stopping in
   t.stopping <- true;
   Condition.broadcast t.nonempty;
-  let threads = t.threads in
-  t.threads <- [];
+  let runners = t.runners in
+  t.runners <- [];
   Mutex.unlock t.mu;
-  if not already then List.iter Thread.join threads
+  if not already then
+    List.iter
+      (function Sys_thread th -> Thread.join th | Dom d -> Domain.join d)
+      runners

@@ -1,10 +1,18 @@
-(** A bounded pool of worker threads behind a backpressure queue.
+(** A bounded pool of workers behind a backpressure queue.
 
-    Jobs are run FIFO by [workers] threads.  The queue holds at most
+    Jobs are run FIFO by [workers] workers — systhreads by default
+    (concurrent but interleaved on one domain), or one OCaml 5 domain
+    each with [~domains:true] (parallel; pair it with per-domain engine
+    shards, see {!Dc_citation.Sharded_engine}).  The queue holds at most
     [queue_capacity] pending jobs: past that, {!submit} refuses with
     [Overloaded] instead of buffering unboundedly — the caller turns
-    that into an overload error for its client.  Exceptions escaping a
-    job are swallowed; they never kill a worker. *)
+    that into an overload error for its client.
+
+    An exception escaping a job is logged ([datacite.worker_pool] at
+    error level) and costs that job only — except the asynchronous
+    runtime exceptions [Out_of_memory] and [Stack_overflow], which are
+    logged and re-raised: a worker that hit them cannot be trusted to
+    continue. *)
 
 type t
 
@@ -13,9 +21,9 @@ type submit_result =
   | Overloaded  (** queue at capacity — shed load *)
   | Shutting_down  (** {!shutdown} has begun — refuse new work *)
 
-val create : workers:int -> queue_capacity:int -> t
-(** Starts the worker threads immediately.
-    Raises [Invalid_argument] when either bound is < 1. *)
+val create : ?domains:bool -> workers:int -> queue_capacity:int -> unit -> t
+(** Starts the workers immediately ([domains] defaults to [false] =
+    systhreads).  Raises [Invalid_argument] when either bound is < 1. *)
 
 val submit : t -> (unit -> unit) -> submit_result
 

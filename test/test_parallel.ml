@@ -1,0 +1,313 @@
+(* The multicore layer: Domain_pool fan-out, parallel rewriting
+   determinism (byte-identical to sequential), engine shards, the
+   domain-backed worker pool, and the domain-parallel server.
+
+   DOMAINS (env var, default 2) picks the pool width so CI can run the
+   same suite at 1, 2 or 4 domains. *)
+
+module C = Dc_citation
+module Cq = Dc_cq
+module Rw = Dc_rewriting
+module P = Dc_parallel.Domain_pool
+
+let domains =
+  match Sys.getenv_opt "DOMAINS" with
+  | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> 2)
+  | None -> 2
+
+let qtest ?(count = 50) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Domain_pool                                                         *)
+
+let test_chunk_props =
+  qtest ~count:200 "chunk: concat inverse, balanced, never empty"
+    QCheck.(pair (list small_int) (int_range 1 10))
+    (fun (xs, k) ->
+      let chunks = P.chunk ~chunks:k xs in
+      List.concat chunks = xs
+      && List.for_all (fun c -> c <> []) chunks
+      && List.length chunks <= k
+      &&
+      let sizes = List.map List.length chunks in
+      match (sizes, xs) with
+      | [], [] -> true
+      | [], _ -> false
+      | s, _ ->
+          List.fold_left max 0 s - List.fold_left min max_int s <= 1)
+
+let with_test_pool f = P.with_pool ~domains f
+
+let test_parallel_map_matches_map =
+  qtest ~count:100 "parallel_map = List.map"
+    QCheck.(list small_int)
+    (fun xs ->
+      with_test_pool (fun pool ->
+          P.parallel_map pool (fun x -> (x * 7919) mod 101) xs
+          = List.map (fun x -> (x * 7919) mod 101) xs))
+
+let test_parallel_fold () =
+  with_test_pool @@ fun pool ->
+  let xs = List.init 1000 Fun.id in
+  let sum =
+    P.parallel_fold pool ~fold:(fun acc x -> acc + x) ~init:0 ~merge:( + ) xs
+  in
+  Alcotest.(check int) "sum 0..999" 499_500 sum;
+  Alcotest.(check int)
+    "empty fold is init" 42
+    (P.parallel_fold pool ~fold:( + ) ~init:42 ~merge:( + ) [])
+
+let test_run_all_order_and_reuse () =
+  with_test_pool @@ fun pool ->
+  (* results come back in input order, across repeated fan-outs *)
+  for round = 1 to 20 do
+    let thunks = List.init 13 (fun i () -> (round * 100) + i) in
+    Alcotest.(check (list int))
+      (Printf.sprintf "round %d in order" round)
+      (List.init 13 (fun i -> (round * 100) + i))
+      (P.run_all pool thunks)
+  done
+
+let test_exception_propagates () =
+  with_test_pool @@ fun pool ->
+  (match
+     P.parallel_map pool
+       (fun x -> if x = 7 then failwith "boom" else x)
+       (List.init 16 Fun.id)
+   with
+  | _ -> Alcotest.fail "expected Failure to propagate"
+  | exception Failure msg -> Alcotest.(check string) "message" "boom" msg);
+  (* the pool survives a failed fan-out *)
+  Alcotest.(check (list int))
+    "pool still works" [ 2; 4; 6 ]
+    (P.parallel_map pool (fun x -> 2 * x) [ 1; 2; 3 ])
+
+let test_shutdown_degrades () =
+  let pool = P.create ~domains in
+  P.shutdown pool;
+  P.shutdown pool;
+  (* idempotent *)
+  Alcotest.(check (list int))
+    "post-shutdown fan-out runs in the caller" [ 1; 4; 9; 16 ]
+    (P.parallel_map pool (fun x -> x * x) [ 1; 2; 3; 4 ])
+
+(* ------------------------------------------------------------------ *)
+(* Parallel rewriting: byte-identical to sequential                    *)
+
+let catalog_views n =
+  Rw.View.Set.of_list
+    (List.map C.Citation_view.view
+       (Dc_gtopdb.Views_catalog.synthetic ~count:n
+       @ [ Dc_gtopdb.Views_catalog.v_committee ]))
+
+let same_rewritings ?(strategy = Rw.Rewrite.Minicon) pool views q =
+  let seq, seq_stats = Rw.Rewrite.rewritings ~strategy views q in
+  let par, par_stats = Rw.Rewrite.rewritings ~strategy ~pool views q in
+  List.map Cq.Query.to_string seq = List.map Cq.Query.to_string par
+  && seq_stats = par_stats
+
+let test_rewriting_deterministic () =
+  with_test_pool @@ fun pool ->
+  let views = catalog_views 12 in
+  List.iter
+    (fun src ->
+      let q = Cq.Parser.parse_query_exn src in
+      Alcotest.(check bool)
+        (Printf.sprintf "parallel = sequential for %s" src)
+        true
+        (same_rewritings pool views q))
+    [
+      "Q(FName,PName) :- Family(FID,FName,Desc), Committee(FID,PName), \
+       FamilyIntro(FID,Text)";
+      "Q(FName,PName) :- Family(FID,FName,Desc), Committee(FID,PName)";
+      "Q(FName) :- Family(FID,FName,Desc), FamilyIntro(FID,Text)";
+      "Q(X) :- Family(X,N,D)";
+    ]
+
+let test_rewriting_deterministic_strategies () =
+  with_test_pool @@ fun pool ->
+  let views = catalog_views 8 in
+  let q =
+    Cq.Parser.parse_query_exn
+      "Q(FName,PName) :- Family(FID,FName,Desc), Committee(FID,PName), \
+       FamilyIntro(FID,Text)"
+  in
+  List.iter
+    (fun (name, strategy) ->
+      Alcotest.(check bool) name true (same_rewritings ~strategy pool views q))
+    [
+      ("naive", Rw.Rewrite.Naive);
+      ("bucket", Rw.Rewrite.Bucket);
+      ("minicon", Rw.Rewrite.Minicon);
+    ]
+
+(* Property-style over the GtoPdb workload generator: any generated
+   join query rewrites identically with and without a pool. *)
+let test_rewriting_deterministic_workload =
+  qtest ~count:25 "parallel = sequential over generated workload"
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      with_test_pool (fun pool ->
+          let views = catalog_views 6 in
+          List.for_all
+            (fun q -> same_rewritings pool views q)
+            (Dc_gtopdb.Workload.generate ~seed ~count:4)))
+
+(* ------------------------------------------------------------------ *)
+(* Engine shards                                                       *)
+
+let small_db = Dc_gtopdb.Generator.generate ~seed:11 ()
+
+let results_agree (a : C.Engine.result) (b : C.Engine.result) =
+  C.Cite_expr.equal a.result_expr b.result_expr
+  && List.length a.tuples = List.length b.tuples
+  && a.complete = b.complete
+  && List.length a.result_citations = List.length b.result_citations
+  && List.for_all2 C.Citation.equal a.result_citations b.result_citations
+
+let test_shards_agree () =
+  let sharded =
+    C.Sharded_engine.create ~shards:domains small_db Dc_gtopdb.Paper_views.all
+  in
+  let expected =
+    C.Engine.cite (C.Sharded_engine.primary sharded) Dc_gtopdb.Paper_views.query_q
+  in
+  for i = 0 to C.Sharded_engine.shard_count sharded - 1 do
+    let r =
+      C.Engine.cite (C.Sharded_engine.shard sharded i)
+        Dc_gtopdb.Paper_views.query_q
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "shard %d agrees with primary" i)
+      true (results_agree expected r)
+  done;
+  (* round-robin dispatch agrees too *)
+  for i = 1 to 2 * domains do
+    Alcotest.(check bool)
+      (Printf.sprintf "pick %d agrees" i)
+      true
+      (results_agree expected
+         (C.Sharded_engine.cite sharded Dc_gtopdb.Paper_views.query_q))
+  done
+
+let batch_queries () =
+  Dc_gtopdb.Paper_views.query_q :: Dc_gtopdb.Workload.generate ~seed:3 ~count:11
+
+let test_cite_batch_matches_sequential () =
+  let queries = batch_queries () in
+  let engine = C.Engine.create small_db Dc_gtopdb.Paper_views.all in
+  let expected = List.map (C.Engine.cite engine) queries in
+  with_test_pool @@ fun pool ->
+  let sharded =
+    C.Sharded_engine.create ~shards:domains small_db Dc_gtopdb.Paper_views.all
+  in
+  let got = C.Sharded_engine.cite_batch sharded pool queries in
+  Alcotest.(check int) "one result per query" (List.length queries)
+    (List.length got);
+  List.iteri
+    (fun i (e, g) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "batch result %d agrees" i)
+        true (results_agree e g))
+    (List.combine expected got)
+
+(* Multi-domain stress on ONE engine (no shards): domains hammer the
+   same caches through the engine mutex; results must stay correct. *)
+let test_shared_engine_stress () =
+  let engine = C.Engine.create small_db Dc_gtopdb.Paper_views.all in
+  let queries = batch_queries () in
+  let expected = List.map (C.Engine.cite engine) queries in
+  let worker () =
+    List.for_all2
+      (fun q e -> results_agree e (C.Engine.cite engine q))
+      queries expected
+  in
+  let spawned = List.init (max 2 domains) (fun _ -> Domain.spawn worker) in
+  let ok_here = worker () in
+  let oks = List.map Domain.join spawned in
+  Alcotest.(check bool) "all domains got identical results" true
+    (ok_here && List.for_all Fun.id oks)
+
+(* ------------------------------------------------------------------ *)
+(* Domain-backed worker pool                                           *)
+
+let test_worker_pool_domains () =
+  let pool =
+    Dc_server.Worker_pool.create ~domains:true ~workers:(max 2 domains)
+      ~queue_capacity:64 ()
+  in
+  let hits = Atomic.make 0 in
+  (* a raising job is logged and swallowed, not worker-fatal *)
+  (match Dc_server.Worker_pool.submit pool (fun () -> failwith "job boom") with
+  | Dc_server.Worker_pool.Accepted -> ()
+  | _ -> Alcotest.fail "submit refused");
+  for _ = 1 to 32 do
+    match
+      Dc_server.Worker_pool.submit pool (fun () -> Atomic.incr hits)
+    with
+    | Dc_server.Worker_pool.Accepted -> ()
+    | _ -> Alcotest.fail "submit refused"
+  done;
+  Dc_server.Worker_pool.shutdown pool;
+  Alcotest.(check int) "every job ran despite the failure" 32 (Atomic.get hits)
+
+(* ------------------------------------------------------------------ *)
+(* Domain-parallel server                                              *)
+
+let test_server_with_domains () =
+  let engine =
+    C.Engine.create
+      (Dc_gtopdb.Paper_views.example_database ())
+      Dc_gtopdb.Paper_views.all
+  in
+  let config =
+    {
+      Dc_server.Server.default_config with
+      port = 0;
+      domains = max 2 domains;
+    }
+  in
+  let server = Dc_server.Server.start ~config engine in
+  Fun.protect ~finally:(fun () -> Dc_server.Server.stop server) @@ fun () ->
+  let stats =
+    Dc_server.Client.Load.run
+      ~port:(Dc_server.Server.port server)
+      ~clients:4 ~requests_per_client:25
+      ~requests:
+        [
+          "CITE Q(N) :- Family(F,N,D)";
+          "CITE Q(FName) :- Family(FID,FName,Desc), FamilyIntro(FID,Text)";
+          "HEALTH";
+        ]
+      ()
+  in
+  Alcotest.(check int) "no errors across shards" 0 stats.errors;
+  Alcotest.(check int) "all requests answered" 100 stats.requests
+
+let suite =
+  [
+    Alcotest.test_case "pool: fold" `Quick test_parallel_fold;
+    Alcotest.test_case "pool: run_all order + reuse" `Quick
+      test_run_all_order_and_reuse;
+    Alcotest.test_case "pool: exception propagation" `Quick
+      test_exception_propagates;
+    Alcotest.test_case "pool: shutdown degrades to caller" `Quick
+      test_shutdown_degrades;
+    test_chunk_props;
+    test_parallel_map_matches_map;
+    Alcotest.test_case "rewriting: parallel byte-identical" `Quick
+      test_rewriting_deterministic;
+    Alcotest.test_case "rewriting: all strategies" `Quick
+      test_rewriting_deterministic_strategies;
+    test_rewriting_deterministic_workload;
+    Alcotest.test_case "shards: all agree with primary" `Quick
+      test_shards_agree;
+    Alcotest.test_case "shards: cite_batch = sequential" `Quick
+      test_cite_batch_matches_sequential;
+    Alcotest.test_case "shared engine: multi-domain stress" `Quick
+      test_shared_engine_stress;
+    Alcotest.test_case "worker pool: domain backend" `Quick
+      test_worker_pool_domains;
+    Alcotest.test_case "server: domains > 1" `Quick test_server_with_domains;
+  ]
