@@ -868,3 +868,133 @@ let e14 () =
      1x — read the cores field of BENCH_E14.json next to the ratios.\n\
      Outputs are byte-identical across domain counts at every width; the\n\
      parallel test suite asserts that.)\n"
+
+(* ------------------------------------------------------------------ *)
+(* E15: versioned citations — commit a delta, then re-cite at the new *)
+(* head through the maintained registration vs a full engine rebuild, *)
+(* and cite the pre-delta version as-of (cold checkout vs cached).    *)
+
+let e15 () =
+  hr "E15  Versioned citations: cite-as-of and re-cite after deltas";
+  Printf.printf
+    "300-family GtoPdb database as version 0; each row commits a delta of\n\
+     N fresh families and re-cites Q at the new head via the maintained\n\
+     registration (incr) and via a full engine rebuild over the head\n\
+     database (full); v0 cold first re-cites version 0 after its engine\n\
+     was evicted (checkout + materialization), v0 warm hits the cached\n\
+     engine; verify checks the v0 fixity digest\n\n";
+  let views = Dc_gtopdb.Paper_views.all in
+  let db = G.generate ~seed:6 ~config:(families 300) () in
+  let q =
+    Cq.Parser.parse_query_exn
+      "Q(FName) :- Family(FID,FName,Desc), FamilyIntro(FID,Text)"
+  in
+  let q2 =
+    Cq.Parser.parse_query_exn "Q(FID,FName,Desc) :- Family(FID,FName,Desc)"
+  in
+  let delta ~start n =
+    List.fold_left
+      (fun d i ->
+        let fid = R.Value.Int (1_000_000 + start + i) in
+        let name = R.Value.Str (Printf.sprintf "NewFam%d" (start + i)) in
+        let d =
+          R.Delta.insert d "Family"
+            (R.Tuple.make [ fid; name; R.Value.Str "bench" ])
+        in
+        R.Delta.insert d "FamilyIntro"
+          (R.Tuple.make [ fid; R.Value.Str "intro" ]))
+      R.Delta.empty
+      (List.init n (fun i -> i))
+  in
+  let ok = function Ok v -> v | Error e -> failwith ("E15: " ^ e) in
+  let widths = [ 8; 11; 10; 10; 12; 12; 11 ] in
+  header widths
+    [
+      "delta"; "commit ms"; "incr ms"; "full ms"; "v0 cold ms"; "v0 warm ms";
+      "verify ms";
+    ];
+  let rows =
+    List.map
+      (fun n ->
+        let ve = C.Versioned_engine.create ~capacity:2 db views in
+        ignore (ok (C.Versioned_engine.cite ve q));
+        ok (C.Versioned_engine.register ve q);
+        let v1, commit_ms =
+          time_ms (fun () ->
+              ok (C.Versioned_engine.commit_delta ve (delta ~start:0 n)))
+        in
+        (* the once-per-version content digest is priced by the verify
+           column (and the fixity_digest timer), not by the re-cite *)
+        ignore (ok (C.Versioned_engine.digest_at ve v1));
+        let incr, incr_ms =
+          time_ms (fun () -> ok (C.Versioned_engine.cite_at ve v1 q))
+        in
+        if not incr.C.Versioned_engine.from_registration then
+          failwith "E15: head re-cite was not served from the registration";
+        let head_db =
+          R.Version_store.checkout_exn (C.Versioned_engine.store ve) v1
+        in
+        let full, full_ms =
+          time_ms (fun () ->
+              C.Citer.cite (C.Citer.of_engine (C.Engine.create head_db views)) q)
+        in
+        if
+          List.length full.C.Engine.tuples
+          <> List.length incr.C.Versioned_engine.result.C.Engine.tuples
+        then failwith "E15: incremental and full recompute disagree";
+        (* a second commit plus engine-path citations of versions 1 and
+           2 push version 0 out of the capacity-2 engine cache, so the
+           next cite_at 0 pays checkout + materialization *)
+        let v2 = ok (C.Versioned_engine.commit_delta ve (delta ~start:n 1)) in
+        ignore (ok (C.Versioned_engine.cite_at ve v2 q2));
+        ignore (ok (C.Versioned_engine.cite_at ve v1 q2));
+        let cold, cold_ms =
+          time_ms (fun () -> ok (C.Versioned_engine.cite_at ve 0 q))
+        in
+        let _, warm_ms =
+          time_ms (fun () -> ok (C.Versioned_engine.cite_at ve 0 q))
+        in
+        let valid, verify_ms =
+          time_ms (fun () ->
+              ok (C.Versioned_engine.verify ve 0 cold.C.Versioned_engine.digest))
+        in
+        if not valid then failwith "E15: v0 digest failed verification";
+        row widths
+          [
+            string_of_int n;
+            ms commit_ms;
+            ms incr_ms;
+            ms full_ms;
+            ms cold_ms;
+            ms warm_ms;
+            ms verify_ms;
+          ];
+        (n, commit_ms, incr_ms, full_ms, cold_ms, warm_ms, verify_ms))
+      [ 1; 10; 100 ]
+  in
+  write_bench_json ~experiment:"E15"
+    [
+      ("params", json_obj [ ("families", "300"); ("capacity", "2") ]);
+      ( "rows",
+        json_list
+          (List.map
+             (fun (n, commit_ms, incr_ms, full_ms, cold_ms, warm_ms, verify_ms)
+                ->
+               json_obj
+                 [
+                   ("delta", string_of_int n);
+                   ("commit_ms", json_ms commit_ms);
+                   ("incremental_ms", json_ms incr_ms);
+                   ("full_recompute_ms", json_ms full_ms);
+                   ("v0_cold_ms", json_ms cold_ms);
+                   ("v0_warm_ms", json_ms warm_ms);
+                   ("verify_ms", json_ms verify_ms);
+                 ])
+             rows) );
+    ];
+  Printf.printf
+    "(expected: incr << full at every delta size — the registration is\n\
+     maintained by delta rules at commit time, so the head re-cite only\n\
+     reads cached citations, while full pays view materialization plus\n\
+     rewriting from scratch.  v0 cold pays engine materialization once;\n\
+     v0 warm is a cache hit and stays flat as deltas accumulate.)\n"

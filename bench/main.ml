@@ -113,6 +113,7 @@ let () =
       ("E12", Experiments.e12);
       ("E13", Experiments.e13);
       ("E14", Experiments.e14);
+      ("E15", Experiments.e15);
     ]
   in
   let to_run =

@@ -1,8 +1,11 @@
 (* datacite-server: TCP daemon serving citations over a line protocol.
 
    Loads a database + citation-view catalog once, builds one shared
-   read-only engine, then answers CITE / CITE_PARAM / STATS / HEALTH /
-   QUIT requests (one line each way, responses are single-line JSON).
+   engine, then answers the v1 commands (CITE / CITE_PARAM / STATS /
+   HEALTH / QUIT) plus the protocol-v2 versioned commands (CITE_AT /
+   COMMIT_DELTA / VERSIONS / VERIFY / REGISTER) — one line each way,
+   responses are single-line JSON.  The loaded snapshot is version 0;
+   COMMIT_DELTA advances the head while old versions stay citable.
    SIGINT/SIGTERM drain in-flight requests before exiting. *)
 
 module C = Dc_citation
@@ -83,6 +86,16 @@ let queue_arg =
     & opt int S.Server.default_config.queue_capacity
     & info [ "queue" ] ~docv:"N" ~doc)
 
+let version_cache_arg =
+  let doc =
+    "Materialized per-version engines kept for CITE_AT (LRU; the head \
+     engine is never evicted)."
+  in
+  Arg.(
+    value
+    & opt int S.Server.default_config.version_cache
+    & info [ "version-cache" ] ~docv:"N" ~doc)
+
 let timeout_arg =
   let doc = "Per-request timeout in seconds." in
   Arg.(
@@ -90,7 +103,7 @@ let timeout_arg =
     & opt float S.Server.default_config.request_timeout_s
     & info [ "timeout" ] ~docv:"SECONDS" ~doc)
 
-let run data views demo host port workers domains queue timeout =
+let run data views demo host port workers domains queue version_cache timeout =
   let db, cvs =
     if demo then
       (Dc_gtopdb.Paper_views.example_database (), Dc_gtopdb.Paper_views.all)
@@ -111,6 +124,7 @@ let run data views demo host port workers domains queue timeout =
       workers;
       domains;
       queue_capacity = queue;
+      version_cache;
       request_timeout_s = timeout;
     }
   in
@@ -128,7 +142,8 @@ let () =
   let term =
     Term.(
       const run $ data_arg $ views_arg $ demo_arg $ host_arg $ port_arg
-      $ workers_arg $ domains_arg $ queue_arg $ timeout_arg)
+      $ workers_arg $ domains_arg $ queue_arg $ version_cache_arg
+      $ timeout_arg)
   in
   let info =
     Cmd.info "datacite-server" ~version:"1.0.0"

@@ -1,0 +1,61 @@
+module Cq = Dc_cq
+
+module type S = sig
+  type t
+
+  val cite : t -> Cq.Query.t -> Engine.result
+  val cite_string : t -> string -> (Engine.result, string) Stdlib.result
+  val cite_batch : t -> Cq.Query.t list -> Engine.result list
+  val metrics : t -> Metrics.t
+end
+
+type t = Citer : (module S with type t = 'a) * 'a -> t
+
+module Engine_citer = struct
+  type t = Engine.t
+
+  let cite = Engine.cite
+  let cite_string = Engine.cite_string
+  let cite_batch e qs = List.map (Engine.cite e) qs
+  let metrics = Engine.metrics
+end
+
+module Sharded_citer = struct
+  type t = Sharded_engine.t
+
+  let cite = Sharded_engine.cite
+  let cite_string = Sharded_engine.cite_string
+
+  (* Round-robin, sequential: the pool-parallel path stays on
+     [Sharded_engine.cite_batch], which needs the pool argument the
+     CITER signature deliberately leaves out. *)
+  let cite_batch s qs = List.map (Sharded_engine.cite s) qs
+  let metrics = Sharded_engine.metrics
+end
+
+module Versioned_citer = struct
+  type t = Versioned_engine.t
+
+  (* Head citations; [cite_at] keeps its own stamped signature outside
+     the CITER shape. *)
+  let cite v q =
+    match Versioned_engine.cite v q with
+    | Ok c -> c.Versioned_engine.result
+    | Error e ->
+        (* Head always exists; an error here means the store was
+           corrupted out from under us. *)
+        invalid_arg (Printf.sprintf "Versioned_engine.cite: %s" e)
+
+  let cite_string = Versioned_engine.cite_string
+  let cite_batch v qs = List.map (cite v) qs
+  let metrics = Versioned_engine.metrics
+end
+
+let of_engine e = Citer ((module Engine_citer), e)
+let of_sharded s = Citer ((module Sharded_citer), s)
+let of_versioned v = Citer ((module Versioned_citer), v)
+
+let cite (Citer ((module M), x)) q = M.cite x q
+let cite_string (Citer ((module M), x)) src = M.cite_string x src
+let cite_batch (Citer ((module M), x)) qs = M.cite_batch x qs
+let metrics (Citer ((module M), x)) = M.metrics x

@@ -1,0 +1,43 @@
+(** CITER — the one signature every citation backend answers to.
+
+    {!Engine} (single), {!Sharded_engine} (round-robin replicas) and
+    {!Versioned_engine} (head of a version store) all implement
+    {!module-type-S}; the packed {!type-t} lets the server, the REPL and
+    the benches dispatch through one value regardless of which backend
+    a deployment picked.
+
+    Backend-specific capabilities (versioned [cite_at], pool-parallel
+    batch citing) stay on the backend modules — CITER is the common
+    core, not the union. *)
+
+module type S = sig
+  type t
+
+  val cite : t -> Dc_cq.Query.t -> Engine.result
+
+  val cite_string : t -> string -> (Engine.result, string) Stdlib.result
+  (** Parses with {!Dc_cq.Parser.parse_query} first. *)
+
+  val cite_batch : t -> Dc_cq.Query.t list -> Engine.result list
+  (** Results in input order.  Sequential unless the backend documents
+      otherwise; {!Sharded_engine.cite_batch} remains the
+      pool-parallel entry point. *)
+
+  val metrics : t -> Metrics.t
+end
+
+type t = Citer : (module S with type t = 'a) * 'a -> t
+(** A backend packed with its implementation — first-class CITER. *)
+
+val of_engine : Engine.t -> t
+val of_sharded : Sharded_engine.t -> t
+
+val of_versioned : Versioned_engine.t -> t
+(** Cites at head; the stamp is dropped.  Raises [Invalid_argument]
+    only if the head version vanished from the store (impossible
+    through the public API). *)
+
+val cite : t -> Dc_cq.Query.t -> Engine.result
+val cite_string : t -> string -> (Engine.result, string) Stdlib.result
+val cite_batch : t -> Dc_cq.Query.t list -> Engine.result list
+val metrics : t -> Metrics.t

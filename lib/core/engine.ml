@@ -67,7 +67,8 @@ let materialize ?cache base cviews =
     (Citation_view.Set.to_list cviews)
 
 let create ?(policy = Policy.default) ?(selection = `Min_estimated_size)
-    ?(partial = false) ?(fallback_contained = false) ?pool base cview_list =
+    ?(partial = false) ?(fallback_contained = false) ?pool ?metrics base
+    cview_list =
   List.iter
     (fun cv ->
       let n = Citation_view.name cv in
@@ -85,7 +86,9 @@ let create ?(policy = Policy.default) ?(selection = `Min_estimated_size)
     cview_list;
   let cviews = Citation_view.Set.of_list cview_list in
   let eval_cache = Cq.Eval.make_cache () in
-  let metrics = Metrics.create () in
+  let metrics =
+    match metrics with Some m -> m | None -> Metrics.create ()
+  in
   let view_db =
     Metrics.with_sink metrics (fun () ->
         Metrics.record_time "materialize" (fun () ->
@@ -128,6 +131,7 @@ let replicate e =
 let database e = e.base
 let citation_views e = e.cviews
 let policy e = e.policy
+let selection e = e.selection
 let view_database e = e.view_db
 let eval_cache e = e.eval_cache
 let metrics e = e.metrics
@@ -367,3 +371,43 @@ let cite e query =
 
 let cite_string e src =
   Result.map (cite e) (Cq.Parser.parse_query src)
+
+let pp_result ppf (r : result) =
+  Format.fprintf ppf
+    "@[<v>query     : %s@,rewritings: %d@,selected  : [%s]@,tuples    : \
+     %d@,citations : %d@,complete  : %b@,stats     : %a@]"
+    (Cq.Query.to_string r.query)
+    (List.length r.rewritings)
+    (String.concat "; " (List.map Cq.Query.name r.selected))
+    (List.length r.tuples)
+    (List.length r.result_citations)
+    r.complete Rw.Rewrite.pp_stats r.stats
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let result_to_json (r : result) =
+  let jstr s = Printf.sprintf "\"%s\"" (json_escape s) in
+  let names qs = String.concat "," (List.map (fun q -> jstr (Cq.Query.name q)) qs) in
+  Printf.sprintf
+    "{\"query\":%s,\"rewritings\":[%s],\"selected\":[%s],\"tuples\":%d,\"expr\":%s,\"citations\":%s,\"complete\":%b,\"stats\":%s}"
+    (jstr (Cq.Query.to_string r.query))
+    (names r.rewritings) (names r.selected)
+    (List.length r.tuples)
+    (jstr (Cite_expr.to_string r.result_expr))
+    (Fmt_citation.render Fmt_citation.Json r.result_citations)
+    r.complete
+    (Rw.Rewrite.stats_to_json r.stats)

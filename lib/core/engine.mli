@@ -56,6 +56,7 @@ val create :
   ?partial:bool ->
   ?fallback_contained:bool ->
   ?pool:Dc_parallel.Domain_pool.t ->
+  ?metrics:Metrics.t ->
   Dc_relational.Database.t ->
   Citation_view.t list ->
   t
@@ -67,7 +68,10 @@ val create :
     of the true answer ([result.complete = false]) but each carries a
     citation.  With [pool], plan-cache misses verify rewriting
     candidates in parallel across the pool's domains (results are
-    identical to the sequential search). *)
+    identical to the sequential search).  With [metrics], the engine
+    records into the given registry instead of a fresh private one —
+    {!Versioned_engine} uses this to aggregate all its per-version
+    engines into one registry. *)
 
 val replicate : t -> t
 (** A shard replica: shares the immutable data (base database,
@@ -79,6 +83,12 @@ val replicate : t -> t
 val database : t -> Dc_relational.Database.t
 val citation_views : t -> Citation_view.Set.t
 val policy : t -> Policy.t
+
+val selection : t -> selection
+(** The rewriting-selection mode this engine was created with (exposed
+    so wrappers like {!Versioned_engine} can build per-version engines
+    with identical behaviour). *)
+
 val view_database : t -> Dc_relational.Database.t
 
 val eval_cache : t -> Dc_cq.Eval.cache
@@ -132,6 +142,17 @@ type result = {
           under-approximate the true answer *)
   stats : Dc_rewriting.Rewrite.stats;
 }
+
+val pp_result : Format.formatter -> result -> unit
+(** A compact human-readable summary of a result: query, rewriting and
+    selection counts, tuple and citation counts, completeness and the
+    enumeration stats.  One field per line. *)
+
+val result_to_json : result -> string
+(** One-line JSON object over the labeled fields: query text, rewriting
+    and selected names, tuple count, the normalized result expression,
+    the concrete citations ({!Fmt_citation} JSON), completeness and
+    {!Dc_rewriting.Rewrite.stats_to_json} stats. *)
 
 val cite : t -> Dc_cq.Query.t -> result
 

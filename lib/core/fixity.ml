@@ -10,6 +10,56 @@ type t = {
   tuples : R.Tuple.t list;
 }
 
+(* ------------------------------------------------------------------ *)
+(* Content digests.  Relations iterate in Tuple.compare order and the
+   database lists relations in name order, so the rendering below is a
+   canonical form: two structurally equal databases digest identically
+   regardless of construction order.  Field separators are control
+   bytes that Value.to_string never emits for well-behaved data. *)
+
+let digest_db db =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun rel ->
+      Buffer.add_string buf (R.Relation.name rel);
+      Buffer.add_char buf '\x00';
+      R.Relation.iter
+        (fun t ->
+          Array.iter
+            (fun v ->
+              Buffer.add_string buf (R.Value.to_string v);
+              Buffer.add_char buf '\x01')
+            t;
+          Buffer.add_char buf '\x02')
+        rel;
+      Buffer.add_char buf '\x03')
+    (R.Database.relations db);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+type stamp = {
+  stamp_version : R.Version_store.version;
+  stamp_at : int option;
+  stamp_digest : string;
+}
+
+let digest_at ~store version =
+  match R.Version_store.checkout store version with
+  | None -> Error (Printf.sprintf "version %d not in store" version)
+  | Some db -> Ok (digest_db db)
+
+let stamp ~store version =
+  Result.map
+    (fun d ->
+      {
+        stamp_version = version;
+        stamp_at = R.Version_store.timestamp store version;
+        stamp_digest = d;
+      })
+    (digest_at ~store version)
+
+let verify_digest ~store version digest =
+  Result.map (fun d -> String.equal d digest) (digest_at ~store version)
+
 let cite ?policy ?selection ~store ~views query =
   let db = R.Version_store.head_db store in
   let engine = Engine.create ?policy ?selection db views in

@@ -7,6 +7,45 @@
     from the {!Dc_relational.Version_store} even after the database
     moves on. *)
 
+(** {2 Content digests}
+
+    A fixity {e digest} is a cryptographic hash of a full database
+    version in a canonical rendering (relations in name order, tuples in
+    value order), so "the data as seen at the time it was cited" can be
+    checked, not just re-obtained: a citation carrying the digest of its
+    version detects any tampering with the stored version. *)
+
+val digest_db : Dc_relational.Database.t -> string
+(** Hex digest of the database's canonical rendering.  Structurally
+    equal databases digest identically regardless of construction
+    order; any tuple change, in any relation, changes the digest. *)
+
+type stamp = {
+  stamp_version : Dc_relational.Version_store.version;
+  stamp_at : int option;  (** commit timestamp, when known *)
+  stamp_digest : string;  (** {!digest_db} of the version *)
+}
+(** What a versioned citation result is stamped with — see
+    {!Versioned_engine}. *)
+
+val digest_at :
+  store:Dc_relational.Version_store.t ->
+  Dc_relational.Version_store.version ->
+  (string, string) result
+
+val stamp :
+  store:Dc_relational.Version_store.t ->
+  Dc_relational.Version_store.version ->
+  (stamp, string) result
+
+val verify_digest :
+  store:Dc_relational.Version_store.t ->
+  Dc_relational.Version_store.version ->
+  string ->
+  (bool, string) result
+(** [verify_digest ~store v d] is [Ok true] iff version [v] exists and
+    its recomputed digest equals [d]. *)
+
 type t = {
   version : Dc_relational.Version_store.version;
   timestamp : int option;

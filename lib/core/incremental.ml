@@ -30,6 +30,27 @@ let result_citations reg =
     ~resolve:(Engine.resolve_leaf reg.engine)
     (Engine.policy reg.engine) (result_expr reg)
 
+let to_result reg : Engine.result =
+  let tuples = tuples reg in
+  let result_expr = result_expr reg in
+  let result_citations = result_citations reg in
+  {
+    Engine.query = reg.query;
+    rewritings = reg.selected;
+    selected = reg.selected;
+    tuples;
+    result_expr;
+    result_citations;
+    complete = true;
+    stats =
+      {
+        Dc_rewriting.Rewrite.candidates = 0;
+        verified = 0;
+        kept = List.length reg.selected;
+        truncated = false;
+      };
+  }
+
 let register eng q =
   let result = Engine.cite eng q in
   let cache =
@@ -105,14 +126,21 @@ let pin_head q head_tuple =
     (fun s -> Cq.Query.apply_subst s q)
     (build Cq.Subst.empty (Cq.Query.head q) 0)
 
-let apply_delta reg delta =
+let apply_delta ?new_base reg delta =
   (* Reuse the engine's index cache rather than building a throwaway
      one per delta: entries are validated against the current relation
      value inside [Eval.index_for], so indexes over unchanged relations
      survive across deltas and stale ones rebuild transparently. *)
   let eval_cache = Engine.eval_cache reg.engine in
   let old_base = Engine.database reg.engine in
-  let new_base = R.Delta.apply old_base delta in
+  (* [new_base], when given, lets a caller that already applied the
+     delta (Version_store.apply_head is THE delta-application path)
+     share the exact database value instead of re-deriving it. *)
+  let new_base =
+    match new_base with
+    | Some db -> db
+    | None -> R.Delta.apply old_base delta
+  in
   let old_view_db = Engine.view_database reg.engine in
   let cviews = Engine.citation_views reg.engine in
   let changed_base = R.Delta.relations_touched delta in

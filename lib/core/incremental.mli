@@ -32,10 +32,24 @@ val tuples : t -> Engine.tuple_citation list
 val result_expr : t -> Cite_expr.t
 val result_citations : t -> Citation.Set.t
 
-val apply_delta : t -> Dc_relational.Delta.t -> t
+val to_result : t -> Engine.result
+(** The registration's current state packaged as an {!Engine.result}:
+    the cached per-tuple citations, the aggregated result expression
+    and its policy evaluation.  [rewritings] and [selected] both carry
+    the registered rewritings, [stats] is zeroed except [kept] (no
+    enumeration ran), [complete] is [true].  {!Versioned_engine} serves
+    registered head-version queries from this instead of re-citing. *)
+
+val apply_delta : ?new_base:Dc_relational.Database.t -> t -> Dc_relational.Delta.t -> t
 (** Updates the base database, the materialized views, and the affected
     citations.  Raises [Not_found] when the delta touches a relation
-    absent from the database. *)
+    absent from the database.
+
+    [new_base], when given, must be exactly the database the delta
+    produces ({!Dc_relational.Version_store.apply_head} computes it);
+    the registration then shares that value instead of re-applying the
+    delta, keeping store head and registration base physically in
+    step. *)
 
 val affected_last : t -> int
 (** Number of output tuples recomputed by the last [apply_delta]

@@ -16,6 +16,11 @@ module Key = struct
   let server_requests = "server_requests"
   let server_errors = "server_errors"
   let server_queue_depth = "server_queue_depth"
+  let version_commits = "version_commits"
+  let version_cache_hits = "version_cache_hits"
+  let version_cache_misses = "version_cache_misses"
+  let version_cache_evictions = "version_cache_evictions"
+  let registrations_maintained = "registrations_maintained"
 
   let all =
     [
@@ -33,6 +38,11 @@ module Key = struct
       server_requests;
       server_errors;
       server_queue_depth;
+      version_commits;
+      version_cache_hits;
+      version_cache_misses;
+      version_cache_evictions;
+      registrations_maintained;
     ]
 end
 

@@ -55,6 +55,24 @@ module Key : sig
   (** High-water mark of the server's worker-pool queue (maintained
       with {!record_max}, so still monotonic between resets). *)
 
+  val version_commits : string
+  (** Deltas committed through a {!Versioned_engine}. *)
+
+  val version_cache_hits : string
+  (** [cite_at] requests served by an already-materialized per-version
+      engine. *)
+
+  val version_cache_misses : string
+  (** [cite_at] requests that had to check out and materialize a
+      version. *)
+
+  val version_cache_evictions : string
+  (** Per-version engines dropped by the versioned engine's LRU bound. *)
+
+  val registrations_maintained : string
+  (** Incremental registrations updated across [commit_delta] calls
+      (one count per registration per commit). *)
+
   val all : string list
   (** Every key above, in canonical display order. *)
 end

@@ -118,7 +118,7 @@ let cite_query st q =
           | Error e -> (st, e)
           | Ok (st, engine) -> (
               try
-                let result = Engine.cite engine q in
+                let result = Citer.cite (Citer.of_engine engine) q in
                 ( { st with last = Some (engine, result) },
                   show_result st result )
               with Cq.Eval.Unknown_relation r ->

@@ -1,0 +1,255 @@
+module Cq = Dc_cq
+module R = Dc_relational
+module VS = R.Version_store
+
+let log_src =
+  Logs.Src.create "datacite.versioned" ~doc:"Versioned citation engine"
+
+module Log = (val Logs.src_log log_src)
+
+type t = {
+  (* Pristine replica used only as the template for per-version
+     engines: [Engine.refresh template db] inherits every creation
+     parameter (policy, selection, partial, fallback, pool) and the
+     shared metrics registry; the subsequent [replicate] gives the new
+     engine private caches and a private lock so versions never contend
+     with each other. *)
+  template : Engine.t;
+  metrics : Metrics.t;
+  capacity : int;
+  mutable store : VS.t;
+  (* MRU-first assoc list of materialized per-version engines, trimmed
+     to [capacity] (the head version is never evicted). *)
+  mutable engines : (VS.version * Engine.t) list;
+  (* Version digests are tiny and versions are immutable, so digests
+     are cached forever — fixity verification of an evicted version
+     must not depend on LRU luck. *)
+  digests : (VS.version, string) Hashtbl.t;
+  (* Head-version incremental registrations, keyed by the registered
+     query's rendering.  Mutated only under [commit_mu]. *)
+  mutable regs : (string * Incremental.t) list;
+  (* [mu] guards every mutable field for brief reads/swaps; [commit_mu]
+     serializes whole commits and registrations.  Order: [commit_mu]
+     may take [mu]; never the reverse.  Nothing slow (materialization,
+     citation, delta maintenance) runs under [mu], so in-flight
+     [cite_at] calls never block on a concurrent commit. *)
+  mu : Mutex.t;
+  commit_mu : Mutex.t;
+}
+
+type cited = {
+  version : VS.version;
+  timestamp : int option;
+  digest : string;
+  result : Engine.result;
+  from_registration : bool;
+}
+
+let locked t f = Mutex.protect t.mu f
+let committing t f = Mutex.protect t.commit_mu f
+
+let of_engine ?(capacity = 4) eng =
+  if capacity < 1 then
+    invalid_arg "Versioned_engine.of_engine: capacity must be >= 1";
+  {
+    template = Engine.replicate eng;
+    metrics = Engine.metrics eng;
+    capacity;
+    store = VS.create (Engine.database eng);
+    engines = [ (0, eng) ];
+    digests = Hashtbl.create 8;
+    regs = [];
+    mu = Mutex.create ();
+    commit_mu = Mutex.create ();
+  }
+
+let create ?policy ?selection ?partial ?fallback_contained ?pool ?capacity
+    ?metrics db views =
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  of_engine ?capacity
+    (Engine.create ?policy ?selection ?partial ?fallback_contained ?pool
+       ~metrics db views)
+
+let snapshot t = locked t (fun () -> t.store)
+let store = snapshot
+let head t = VS.head (snapshot t)
+let versions t = VS.versions (snapshot t)
+let timestamp t v = VS.timestamp (snapshot t) v
+let metrics t = t.metrics
+let capacity t = t.capacity
+let cached_versions t = locked t (fun () -> List.map fst t.engines)
+let registrations t = locked t (fun () -> List.map fst t.regs)
+
+(* Evict LRU entries beyond [capacity], never the head version: a burst
+   of historical [cite_at]s must not cold-start the head hot path. *)
+let trim_unlocked t =
+  let hd = VS.head t.store in
+  let excess = List.length t.engines - t.capacity in
+  if excess > 0 then begin
+    let dropped = ref 0 in
+    let kept_lru_first =
+      List.filter
+        (fun (v, _) ->
+          if !dropped < excess && v <> hd then begin
+            incr dropped;
+            false
+          end
+          else true)
+        (List.rev t.engines)
+    in
+    t.engines <- List.rev kept_lru_first;
+    if !dropped > 0 then
+      Metrics.with_sink t.metrics (fun () ->
+          Metrics.record ~by:!dropped Metrics.Key.version_cache_evictions)
+  end
+
+let engine_at t v =
+  let cached =
+    locked t (fun () ->
+        match List.assoc_opt v t.engines with
+        | Some eng ->
+            t.engines <- (v, eng) :: List.remove_assoc v t.engines;
+            Some eng
+        | None -> None)
+  in
+  match cached with
+  | Some eng ->
+      Metrics.with_sink t.metrics (fun () ->
+          Metrics.record Metrics.Key.version_cache_hits);
+      Ok eng
+  | None -> (
+      match VS.checkout (snapshot t) v with
+      | None -> Error (Printf.sprintf "version %d not in store" v)
+      | Some db ->
+          Metrics.with_sink t.metrics (fun () ->
+              Metrics.record Metrics.Key.version_cache_misses);
+          (* Materialization runs outside [mu]; a concurrent miss on the
+             same version may build twice, the race loser's engine is
+             dropped. *)
+          let eng =
+            Metrics.with_sink t.metrics (fun () ->
+                Metrics.record_time "version_materialize" (fun () ->
+                    Engine.replicate (Engine.refresh t.template db)))
+          in
+          Log.debug (fun m -> m "materialized engine for version %d" v);
+          Ok
+            (locked t (fun () ->
+                 match List.assoc_opt v t.engines with
+                 | Some raced -> raced
+                 | None ->
+                     t.engines <- (v, eng) :: t.engines;
+                     trim_unlocked t;
+                     eng)))
+
+let digest_at t v =
+  match locked t (fun () -> Hashtbl.find_opt t.digests v) with
+  | Some d -> Ok d
+  | None -> (
+      match VS.checkout (snapshot t) v with
+      | None -> Error (Printf.sprintf "version %d not in store" v)
+      | Some db ->
+          let d =
+            Metrics.with_sink t.metrics (fun () ->
+                Metrics.record_time "fixity_digest" (fun () ->
+                    Fixity.digest_db db))
+          in
+          locked t (fun () ->
+              if not (Hashtbl.mem t.digests v) then Hashtbl.add t.digests v d);
+          Ok d)
+
+let verify t v digest =
+  Result.map (fun d -> String.equal d digest) (digest_at t v)
+
+let stamped t v ~from_registration result =
+  Result.map
+    (fun digest ->
+      {
+        version = v;
+        timestamp = VS.timestamp (snapshot t) v;
+        digest;
+        result;
+        from_registration;
+      })
+    (digest_at t v)
+
+let reg_key q = Cq.Query.to_string q
+
+let cite_at t v q =
+  let from_reg =
+    locked t (fun () ->
+        if v = VS.head t.store then List.assoc_opt (reg_key q) t.regs
+        else None)
+  in
+  match from_reg with
+  | Some reg -> stamped t v ~from_registration:true (Incremental.to_result reg)
+  | None ->
+      Result.bind (engine_at t v) (fun eng ->
+          stamped t v ~from_registration:false (Engine.cite eng q))
+
+let cite t q = cite_at t (head t) q
+
+let cite_string t src =
+  match Cq.Parser.parse_query src with
+  | Error e -> Error e
+  | Ok q -> Result.map (fun c -> c.result) (cite t q)
+
+let register t q =
+  committing t @@ fun () ->
+  let hd = VS.head t.store in
+  Result.map
+    (fun eng ->
+      (* Register on a private replica: [Incremental] evaluates with
+         the raw eval-cache handle, bypassing the engine lock, so it
+         must never share caches with an engine serving concurrent
+         citations. *)
+      let reg = Incremental.register (Engine.replicate eng) q in
+      let key = reg_key q in
+      locked t (fun () ->
+          t.regs <- (key, reg) :: List.remove_assoc key t.regs))
+    (engine_at t hd)
+
+let commit_delta t delta =
+  committing t @@ fun () ->
+  match VS.apply_head t.store delta with
+  | exception Not_found ->
+      Error "delta touches a relation absent from the database"
+  | exception Invalid_argument e -> Error e
+  | new_db ->
+      let store', v = VS.commit t.store new_db in
+      (* Registrations advance through the SAME database value the
+         store commits ([apply_head] computed it once): head and
+         derived state cannot diverge. *)
+      let regs' =
+        List.map
+          (fun (k, reg) ->
+            (k, Incremental.apply_delta ~new_base:new_db reg delta))
+          t.regs
+      in
+      Metrics.with_sink t.metrics (fun () ->
+          Metrics.record Metrics.Key.version_commits;
+          match regs' with
+          | [] -> ()
+          | _ :: _ ->
+              Metrics.record
+                ~by:(List.length regs')
+                Metrics.Key.registrations_maintained);
+      Log.debug (fun m ->
+          m "commit_delta: version %d, %d registration(s) maintained" v
+            (List.length regs'));
+      locked t (fun () ->
+          t.store <- store';
+          t.regs <- regs';
+          trim_unlocked t);
+      Ok v
+
+let pp ppf t =
+  let store, cached, regs =
+    locked t (fun () -> (t.store, List.map fst t.engines, List.map fst t.regs))
+  in
+  Format.fprintf ppf
+    "@[<v>head      : %d@,versions  : %d@,cached    : [%s]@,capacity  : \
+     %d@,registered: %d@]"
+    (VS.head store)
+    (List.length (VS.versions store))
+    (String.concat "; " (List.map string_of_int cached))
+    t.capacity (List.length regs)

@@ -1,0 +1,132 @@
+(** A citation engine over {e every} committed version of a database —
+    the paper's §3 fixity requirement made operational.
+
+    The paper requires that a citation "bring back the data as seen at
+    the time it was cited".  This layer owns a
+    {!Dc_relational.Version_store.t} plus one {!Engine.t} per
+    checked-out version: {!cite_at} cites against any committed
+    version, and every result is stamped with the version, its commit
+    timestamp and a {!Fixity} content digest, so a reader can later
+    {!verify} that the cited version still hashes to what the citation
+    recorded.
+
+    {b Versions and commits.}  Version [0] is the database the engine
+    was created over.  {!commit_delta} applies a
+    {!Dc_relational.Delta.t} to the head through
+    {!Dc_relational.Version_store.apply_head} — the single
+    delta-application path — and commits the result as a new head;
+    every older version stays citable forever.  Incremental
+    registrations ({!register}) are re-maintained on each commit from
+    the {e same} database value the store commits, so the store head
+    and the registrations can never diverge.
+
+    {b Engine cache.}  Per-version engines are materialized lazily on
+    first use and kept in an LRU cache bounded by [capacity] (default
+    4).  The head version's engine is never evicted.  All per-version
+    engines share one metrics registry (this engine's), so cache
+    counters aggregate across versions; digests are cached without
+    bound (they are 32-byte strings).
+
+    {b Thread safety.}  All operations are safe from any thread or
+    domain.  Commits and registrations serialize among themselves, but
+    nothing slow ever runs under the lock that {!cite_at} takes, so
+    in-flight citations — on the head or on historical versions —
+    proceed concurrently with a commit. *)
+
+type t
+
+type cited = {
+  version : Dc_relational.Version_store.version;
+  timestamp : int option;  (** the version's commit time *)
+  digest : string;  (** {!Fixity.digest_db} of the cited version *)
+  result : Engine.result;
+  from_registration : bool;
+      (** served from an incremental {!register}ation rather than by a
+          fresh engine evaluation *)
+}
+
+val create :
+  ?policy:Policy.t ->
+  ?selection:Engine.selection ->
+  ?partial:bool ->
+  ?fallback_contained:bool ->
+  ?pool:Dc_parallel.Domain_pool.t ->
+  ?capacity:int ->
+  ?metrics:Metrics.t ->
+  Dc_relational.Database.t ->
+  Citation_view.t list ->
+  t
+(** The given database becomes version 0.  Engine parameters are as
+    {!Engine.create} and apply to every per-version engine; [capacity]
+    (default 4, minimum 1) bounds the LRU engine cache. *)
+
+val of_engine : ?capacity:int -> Engine.t -> t
+(** Wrap an existing engine as version 0 of a fresh store.  The
+    engine's database, views, policy, selection and metrics registry
+    carry over to every per-version engine. *)
+
+val head : t -> Dc_relational.Version_store.version
+val versions : t -> Dc_relational.Version_store.version list
+
+val timestamp : t -> Dc_relational.Version_store.version -> int option
+
+val store : t -> Dc_relational.Version_store.t
+(** A snapshot of the underlying store (persistent, so safe to keep). *)
+
+val metrics : t -> Metrics.t
+(** The shared registry: engine counters from every version plus
+    [version_commits], [version_cache_hits/misses/evictions] and
+    [registrations_maintained]. *)
+
+val capacity : t -> int
+
+val cached_versions : t -> Dc_relational.Version_store.version list
+(** Versions with a currently materialized engine, MRU first (exposed
+    for tests of the LRU bound). *)
+
+val registrations : t -> string list
+(** Rendered queries currently registered for incremental maintenance. *)
+
+val engine_at :
+  t -> Dc_relational.Version_store.version -> (Engine.t, string) result
+(** The (lazily materialized, LRU-cached) engine for a version.
+    [Error] when the version was never committed. *)
+
+val cite_at :
+  t -> Dc_relational.Version_store.version -> Dc_cq.Query.t ->
+  (cited, string) result
+(** Cite against a specific version.  Citing the head of a registered
+    query is served from the maintained registration
+    ([from_registration = true]) without re-evaluating.  [Error] only
+    for an unknown version — never an exception. *)
+
+val cite : t -> Dc_cq.Query.t -> (cited, string) result
+(** [cite t q] is [cite_at t (head t) q]. *)
+
+val cite_string : t -> string -> (Engine.result, string) Stdlib.result
+(** Parse and cite at head, dropping the stamp — the {!Citer}-shaped
+    entry point. *)
+
+val register : t -> Dc_cq.Query.t -> (unit, string) result
+(** Register the query for incremental maintenance at head: subsequent
+    {!commit_delta}s update its cached citations by delta rules, and
+    head-version {!cite_at}s of the same query are served from the
+    registration. *)
+
+val commit_delta : t -> Dc_relational.Delta.t -> (Dc_relational.Version_store.version, string) result
+(** Apply a delta to the head and commit the result as the new head,
+    returning the new version.  Registrations are re-maintained from
+    the same database value the store commits.  [Error] (never an
+    exception) when the delta touches an unknown relation or
+    mismatches a schema. *)
+
+val verify :
+  t -> Dc_relational.Version_store.version -> string -> (bool, string) result
+(** Does the version's content digest equal the given digest?  [Error]
+    for an unknown version. *)
+
+val digest_at :
+  t -> Dc_relational.Version_store.version -> (string, string) result
+(** The version's {!Fixity.digest_db}, cached after first computation. *)
+
+val pp : Format.formatter -> t -> unit

@@ -27,9 +27,17 @@ let commit s db =
   let v = s.head + 1 in
   ({ s with entries = Imap.add v { db; at = s.clock () } s.entries; head = v }, v)
 
-let commit_delta s delta = commit s (Delta.apply (head_db s) delta)
+(* THE delta-application path.  [commit_delta] below and every caller
+   that maintains derived state next to the store (the versioned
+   engine's incremental registrations) obtain the post-delta database
+   from this one function, so head and derived state are the same
+   value and can never diverge on change ordering. *)
+let apply_head s delta = Delta.apply (head_db s) delta
+
+let commit_delta s delta = commit s (apply_head s delta)
 
 let checkout s v = Option.map (fun e -> e.db) (Imap.find_opt v s.entries)
+let mem s v = Imap.mem v s.entries
 
 let checkout_exn s v =
   match checkout s v with Some db -> db | None -> raise Not_found

@@ -22,10 +22,24 @@ val head_db : t -> Database.t
 val commit : t -> Database.t -> t * version
 (** Records a new version whose contents are the given database. *)
 
+val apply_head : t -> Delta.t -> Database.t
+(** [apply_head store delta] is [Delta.apply (head_db store) delta] —
+    the {e single} delta-application path.  [commit_delta] goes through
+    it, and callers that maintain derived state alongside the store
+    (e.g. incremental citation registrations) must commit the database
+    this function returns rather than re-applying the delta themselves,
+    so the store head and the derived state can never diverge on change
+    ordering.  Raises like {!Delta.apply}. *)
+
 val commit_delta : t -> Delta.t -> t * version
-(** Applies a delta to the head and commits the result. *)
+(** Applies a delta to the head (through {!apply_head}) and commits the
+    result. *)
 
 val checkout : t -> version -> Database.t option
+
+val mem : t -> version -> bool
+(** Whether the version is in the store. *)
+
 val checkout_exn : t -> version -> Database.t
 val timestamp : t -> version -> int option
 val versions : t -> version list

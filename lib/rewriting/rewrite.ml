@@ -9,6 +9,18 @@ type stats = {
   truncated : bool;
 }
 
+let pp_stats ppf s =
+  Format.fprintf ppf "candidates=%d verified=%d kept=%d%s" s.candidates
+    s.verified s.kept
+    (if s.truncated then " (truncated)" else "")
+
+let stats_to_json s =
+  Printf.sprintf
+    "{\"candidates\":%d,\"verified\":%d,\"kept\":%d,\"truncated\":%b}"
+    s.candidates s.verified s.kept s.truncated
+
+type outcome = { queries : Cq.Query.t list; stats : stats }
+
 type event = Candidate | Verified | Kept
 
 (* Instrumentation hook: fired once per candidate generated, candidate
@@ -184,6 +196,12 @@ let rewritings ?(strategy = Minicon) ?(partial = false)
       kept = List.length kept;
       truncated = !truncated;
     } )
+
+let search ?strategy ?partial ?max_candidates ?pool views query =
+  let queries, stats =
+    rewritings ?strategy ?partial ?max_candidates ?pool views query
+  in
+  { queries; stats }
 
 let equivalent_rewritings ?partial views query =
   fst (rewritings ?partial views query)

@@ -23,12 +23,33 @@ type stats = {
   truncated : bool;  (** candidate generation hit [max_candidates] *)
 }
 
+val pp_stats : Format.formatter -> stats -> unit
+
+val stats_to_json : stats -> string
+(** One-line JSON object with the four labeled fields. *)
+
+type outcome = { queries : Dc_cq.Query.t list; stats : stats }
+(** A labeled search result: the kept rewritings plus the enumeration
+    statistics.  Prefer this over destructuring the positional pair
+    {!rewritings} returns. *)
+
 type event = Candidate | Verified | Kept
 
 val on_event : (event -> unit) ref
 (** Instrumentation hook, fired by every enumerator as candidates are
     generated, verified and kept.  A no-op by default;
     {!Dc_citation.Metrics} installs a counter sink. *)
+
+val search :
+  ?strategy:strategy ->
+  ?partial:bool ->
+  ?max_candidates:int ->
+  ?pool:Dc_parallel.Domain_pool.t ->
+  View.Set.t ->
+  Dc_cq.Query.t ->
+  outcome
+(** Exactly {!rewritings}, returned as a labeled {!outcome} record
+    instead of a positional pair.  New call sites should use this. *)
 
 val rewritings :
   ?strategy:strategy ->
@@ -46,11 +67,18 @@ val rewritings :
     plus minimization, the dominant cost — fans out across the pool's
     domains; enumeration and deduplication stay sequential in candidate
     order, so the returned rewritings (queries, names, order) and
-    [stats] are identical to the single-domain run. *)
+    [stats] are identical to the single-domain run.
+
+    @deprecated The positional pair leaks into callers; use {!search},
+    which returns the labeled {!outcome} record.  This function is kept
+    for existing call sites and will not grow new parameters. *)
 
 val equivalent_rewritings :
   ?partial:bool -> View.Set.t -> Dc_cq.Query.t -> Dc_cq.Query.t list
-(** [rewritings ~strategy:Minicon], results only. *)
+(** [rewritings ~strategy:Minicon], results only.
+
+    @deprecated Use [(search views q).queries] — same results, and the
+    stats come labeled when you need them. *)
 
 val minimize_rewriting :
   ?deps:Dc_cq.Dependency.t list ->

@@ -4,9 +4,17 @@ module C = Dc_citation
 type request =
   | Cite of string
   | Cite_param of { view : string; bindings : (string * R.Value.t) list }
+  | Cite_at of { version : int; query : string }
+  | Commit_delta of R.Delta.t
+  | Versions
+  | Verify of { version : int; digest : string }
+  | Register of string
   | Stats
   | Health
   | Quit
+
+let protocol_version = 2
+let protocol_versions = [ 1; 2 ]
 
 (* ------------------------------------------------------------------ *)
 (* Requests                                                            *)
@@ -52,31 +60,132 @@ let strip_cr line =
   let n = String.length line in
   if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
 
+(* One change of a COMMIT_DELTA payload: [+Rel(v1,v2,...)] or
+   [-Rel(v1,v2,...)].  Values go through the same scalar coercion as
+   CITE_PARAM bindings, so strings containing [,;()] are outside the
+   wire format (deltas carrying them need a richer client). *)
+let parse_change s =
+  let s = String.trim s in
+  let n = String.length s in
+  let bad () = Error (Printf.sprintf "bad change %S (want +Rel(v,...) or -Rel(v,...))" s) in
+  if n < 4 then bad ()
+  else
+    let sign = s.[0] in
+    if sign <> '+' && sign <> '-' then bad ()
+    else if s.[n - 1] <> ')' then bad ()
+    else
+      match String.index_opt s '(' with
+      | None -> bad ()
+      | Some i ->
+          let rel = String.trim (String.sub s 1 (i - 1)) in
+          let inner = String.sub s (i + 1) (n - i - 2) in
+          let values =
+            String.split_on_char ',' inner
+            |> List.map String.trim
+            |> List.filter (fun p -> p <> "")
+            |> List.map parse_scalar
+          in
+          if rel = "" then bad ()
+          else if values = [] then
+            Error (Printf.sprintf "bad change %S: empty tuple" s)
+          else Ok (sign, rel, R.Tuple.make values)
+
+let parse_delta s =
+  let parts =
+    String.split_on_char ';' s |> List.map String.trim
+    |> List.filter (fun p -> p <> "")
+  in
+  if parts = [] then Error "COMMIT_DELTA: empty delta"
+  else
+    let rec go acc = function
+      | [] -> Ok acc
+      | p :: rest -> (
+          match parse_change p with
+          | Error e -> Error e
+          | Ok ('+', rel, tuple) -> go (R.Delta.insert acc rel tuple) rest
+          | Ok (_, rel, tuple) -> go (R.Delta.delete acc rel tuple) rest)
+    in
+    go R.Delta.empty parts
+
+let render_delta d =
+  String.concat ";"
+    (List.concat_map
+       (fun (rel, changes) ->
+         List.map
+           (fun (c : R.Delta.change) ->
+             match c with
+             | R.Delta.Insert t ->
+                 Printf.sprintf "+%s(%s)" rel
+                   (String.concat ","
+                      (List.map R.Value.to_string (R.Tuple.to_list t)))
+             | R.Delta.Delete t ->
+                 Printf.sprintf "-%s(%s)" rel
+                   (String.concat ","
+                      (List.map R.Value.to_string (R.Tuple.to_list t))))
+           changes)
+       (R.Delta.changes d))
+
+(* The command table is shared by both protocol versions: the [V2]
+   prefix is what a self-describing v2 client sends, but the commands
+   it introduced are also accepted bare, and every v1 command is valid
+   under the prefix.  [parse_request] stays total either way. *)
+let parse_command line =
+  let cmd, rest = split_first line in
+  match String.uppercase_ascii cmd with
+  | "CITE" -> if rest = "" then Error "CITE: missing query" else Ok (Cite rest)
+  | "CITE_PARAM" ->
+      let view, kvs = split_first rest in
+      if view = "" then Error "CITE_PARAM: missing view name"
+      else
+        Result.map
+          (fun bindings -> Cite_param { view; bindings })
+          (parse_bindings kvs)
+  | "CITE_AT" -> (
+      let v, query = split_first rest in
+      if v = "" then Error "CITE_AT: missing version"
+      else
+        match int_of_string_opt v with
+        | None -> Error (Printf.sprintf "CITE_AT: bad version %S" v)
+        | Some version ->
+            if query = "" then Error "CITE_AT: missing query"
+            else Ok (Cite_at { version; query }))
+  | "COMMIT_DELTA" ->
+      if rest = "" then Error "COMMIT_DELTA: missing delta"
+      else Result.map (fun d -> Commit_delta d) (parse_delta rest)
+  | "VERSIONS" ->
+      if rest = "" then Ok Versions else Error "VERSIONS takes no arguments"
+  | "VERIFY" -> (
+      let v, digest = split_first rest in
+      if v = "" then Error "VERIFY: missing version"
+      else
+        match int_of_string_opt v with
+        | None -> Error (Printf.sprintf "VERIFY: bad version %S" v)
+        | Some version ->
+            if digest = "" then Error "VERIFY: missing digest"
+            else if String.contains digest ' ' then
+              Error "VERIFY: digest must be a single token"
+            else Ok (Verify { version; digest }))
+  | "REGISTER" ->
+      if rest = "" then Error "REGISTER: missing query" else Ok (Register rest)
+  | "STATS" -> if rest = "" then Ok Stats else Error "STATS takes no arguments"
+  | "HEALTH" ->
+      if rest = "" then Ok Health else Error "HEALTH takes no arguments"
+  | "QUIT" -> if rest = "" then Ok Quit else Error "QUIT takes no arguments"
+  | other ->
+      Error
+        (Printf.sprintf
+           "unknown command %S (want CITE, CITE_PARAM, CITE_AT, COMMIT_DELTA, \
+            VERSIONS, VERIFY, REGISTER, STATS, HEALTH or QUIT)"
+           other)
+
 let parse_request line =
   let line = String.trim (strip_cr line) in
   if line = "" then Error "empty request"
   else
     let cmd, rest = split_first line in
-    match String.uppercase_ascii cmd with
-    | "CITE" ->
-        if rest = "" then Error "CITE: missing query" else Ok (Cite rest)
-    | "CITE_PARAM" ->
-        let view, kvs = split_first rest in
-        if view = "" then Error "CITE_PARAM: missing view name"
-        else
-          Result.map
-            (fun bindings -> Cite_param { view; bindings })
-            (parse_bindings kvs)
-    | "STATS" ->
-        if rest = "" then Ok Stats else Error "STATS takes no arguments"
-    | "HEALTH" ->
-        if rest = "" then Ok Health else Error "HEALTH takes no arguments"
-    | "QUIT" -> if rest = "" then Ok Quit else Error "QUIT takes no arguments"
-    | other ->
-        Error
-          (Printf.sprintf
-             "unknown command %S (want CITE, CITE_PARAM, STATS, HEALTH or QUIT)"
-             other)
+    if String.uppercase_ascii cmd = "V2" then
+      if rest = "" then Error "V2: missing command" else parse_command rest
+    else parse_command line
 
 let render_request = function
   | Cite q -> "CITE " ^ q
@@ -87,6 +196,11 @@ let render_request = function
       in
       if kvs = "" then "CITE_PARAM " ^ view
       else Printf.sprintf "CITE_PARAM %s %s" view kvs
+  | Cite_at { version; query } -> Printf.sprintf "V2 CITE_AT %d %s" version query
+  | Commit_delta d -> "V2 COMMIT_DELTA " ^ render_delta d
+  | Versions -> "V2 VERSIONS"
+  | Verify { version; digest } -> Printf.sprintf "V2 VERIFY %d %s" version digest
+  | Register q -> "V2 REGISTER " ^ q
   | Stats -> "STATS"
   | Health -> "HEALTH"
   | Quit -> "QUIT"
@@ -125,17 +239,74 @@ let err_prefix = "ERR "
 
 let error_line msg = err_prefix ^ obj [ ("error", jstr (one_line msg)) ]
 
-let ok_cite ~query ~expr ~citations ~complete ~tuples ~rewritings ~ms =
+let ok_cite ?version ?timestamp ?digest ?from_registration ~query ~expr
+    ~citations ~complete ~tuples ~rewritings ~ms () =
+  let stamp =
+    (match version with
+    | None -> []
+    | Some v -> [ ("version", string_of_int v) ])
+    @ (match timestamp with
+      | None -> []
+      | Some at -> [ ("timestamp", string_of_int at) ])
+    @ (match digest with None -> [] | Some d -> [ ("digest", jstr d) ])
+    @
+    match from_registration with
+    | None -> []
+    | Some b -> [ ("from_registration", string_of_bool b) ]
+  in
+  one_line
+    (obj
+       ([
+          ("ok", "true");
+          ("query", jstr query);
+          ("expr", jstr expr);
+          ("citations", C.Fmt_citation.render C.Fmt_citation.Json citations);
+          ("complete", string_of_bool complete);
+          ("tuples", string_of_int tuples);
+          ("rewritings", string_of_int rewritings);
+        ]
+       @ stamp
+       @ [ ("ms", Printf.sprintf "%.3f" ms) ]))
+
+let ok_commit ~version ~size ~registrations ~ms =
+  obj
+    [
+      ("ok", "true");
+      ("version", string_of_int version);
+      ("size", string_of_int size);
+      ("registrations", string_of_int registrations);
+      ("ms", Printf.sprintf "%.3f" ms);
+    ]
+
+let ok_versions ~head ~versions =
+  let entry (v, at) =
+    obj
+      ([ ("version", string_of_int v) ]
+      @ match at with None -> [] | Some t -> [ ("timestamp", string_of_int t) ])
+  in
+  obj
+    [
+      ("ok", "true");
+      ("head", string_of_int head);
+      ("versions", "[" ^ String.concat "," (List.map entry versions) ^ "]");
+    ]
+
+let ok_verify ~version ~valid ~digest ~ms =
+  obj
+    [
+      ("ok", "true");
+      ("version", string_of_int version);
+      ("valid", string_of_bool valid);
+      ("digest", jstr digest);
+      ("ms", Printf.sprintf "%.3f" ms);
+    ]
+
+let ok_register ~query ~ms =
   one_line
     (obj
        [
          ("ok", "true");
-         ("query", jstr query);
-         ("expr", jstr expr);
-         ("citations", C.Fmt_citation.render C.Fmt_citation.Json citations);
-         ("complete", string_of_bool complete);
-         ("tuples", string_of_int tuples);
-         ("rewritings", string_of_int rewritings);
+         ("registered", jstr query);
          ("ms", Printf.sprintf "%.3f" ms);
        ])
 
@@ -152,16 +323,26 @@ let ok_citation ~view ~citation ~ms =
 
 let ok_stats ~stats_json = obj [ ("ok", "true"); ("stats", stats_json) ]
 
-let ok_health ~uptime_s ~views ~relations ~tuples =
+let ok_health ?version ~uptime_s ~views ~relations ~tuples () =
   obj
-    [
-      ("ok", "true");
-      ("status", jstr "serving");
-      ("uptime_s", Printf.sprintf "%.1f" uptime_s);
-      ("views", string_of_int views);
-      ("relations", string_of_int relations);
-      ("tuples", string_of_int tuples);
-    ]
+    ([
+       ("ok", "true");
+       ("status", jstr "serving");
+       (* Protocol handshake: what the server speaks, and every version
+          it still accepts. *)
+       ("protocol", string_of_int protocol_version);
+       ( "protocols",
+         "["
+         ^ String.concat "," (List.map string_of_int protocol_versions)
+         ^ "]" );
+       ("uptime_s", Printf.sprintf "%.1f" uptime_s);
+       ("views", string_of_int views);
+       ("relations", string_of_int relations);
+       ("tuples", string_of_int tuples);
+     ]
+    @ match version with
+      | None -> []
+      | Some v -> [ ("head_version", string_of_int v) ])
 
 let ok_bye = obj [ ("ok", "true"); ("bye", "true") ]
 

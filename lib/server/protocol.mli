@@ -1,19 +1,41 @@
 (** The citation server's wire protocol: a pure, I/O-free codec.
 
-    Requests are single lines; the first whitespace-delimited word is
-    the command, case-insensitive:
+    {b Grammar.}  Requests are single lines; the first
+    whitespace-delimited word is the command (case-insensitive), an
+    optional leading [V2] token selects the self-describing protocol
+    version 2 form:
 
     {v
-      CITE <conjunctive query>
-      CITE_PARAM <view> [NAME=VALUE[,NAME=VALUE...]]
-      STATS
-      HEALTH
-      QUIT
+      request   ::= [ "V2" ] command
+      command   ::= "CITE" query
+                  | "CITE_PARAM" view [ binding { "," binding } ]
+                  | "CITE_AT" version query          (v2)
+                  | "COMMIT_DELTA" change { ";" change }   (v2)
+                  | "VERSIONS"                       (v2)
+                  | "VERIFY" version digest          (v2)
+                  | "REGISTER" query                 (v2)
+                  | "STATS" | "HEALTH" | "QUIT"
+      binding   ::= name "=" scalar
+      change    ::= ("+" | "-") relation "(" scalar { "," scalar } ")"
+      version   ::= integer
+      digest    ::= hex token (no spaces)
+      query     ::= conjunctive query text, e.g. Q(X) :- R(X,Y)
     v}
 
+    A v1 client (no [V2] prefix, only the original five commands) works
+    unchanged against a v2 server.  The v2-introduced commands are also
+    accepted {e without} the prefix — the prefix is how a
+    self-describing client declares intent, not a gate — and every v1
+    command is valid under it.  Scalars go through the same coercion as
+    CLI parameters: integer literals become [Int], everything else
+    [Str]; consequently delta values containing [,;()] are outside the
+    line format.
+
     Responses are single lines too: success is a JSON object starting
-    with [{], failure is [ERR {"error":"..."}].  A trailing [\r] (telnet
-    / [nc -C] clients) is tolerated on requests.
+    with [{], failure is [ERR {"error":"..."}].  The [HEALTH] response
+    carries a [protocol]/[protocols] handshake so clients can discover
+    what the server speaks.  A trailing [\r] (telnet / [nc -C] clients)
+    is tolerated on requests.
 
     [parse_request] is total — any byte sequence yields [Ok] or [Error],
     never an exception — which keeps the codec fuzz-friendly and means a
@@ -27,19 +49,45 @@ type request =
     }
       (** resolve one citation view at a parameter valuation (the
           engine's leaf resolver) *)
+  | Cite_at of { version : int; query : string }
+      (** cite against a specific committed version (v2) *)
+  | Commit_delta of Dc_relational.Delta.t
+      (** advance the head by a delta; old versions stay citable (v2) *)
+  | Versions  (** list committed versions with timestamps (v2) *)
+  | Verify of { version : int; digest : string }
+      (** check a version's fixity digest (v2) *)
+  | Register of string
+      (** register a query for incremental maintenance at head (v2) *)
   | Stats  (** engine + server metrics as JSON *)
-  | Health  (** liveness probe with coarse engine facts *)
+  | Health  (** liveness probe with coarse engine facts + protocol
+                handshake *)
   | Quit  (** close this connection *)
+
+val protocol_version : int
+(** The protocol version this codec speaks (2). *)
+
+val protocol_versions : int list
+(** Every version the codec accepts ([1; 2]). *)
 
 val parse_request : string -> (request, string) result
 
 val render_request : request -> string
 (** Inverse of {!parse_request} up to whitespace and scalar formatting
-    (an integer-shaped string value re-parses as an [Int]). *)
+    (an integer-shaped string value re-parses as an [Int]).  v1
+    commands render in v1 form, v2-introduced commands render with the
+    [V2] prefix; both re-parse to the same request. *)
+
+val render_delta : Dc_relational.Delta.t -> string
+(** The COMMIT_DELTA payload: [+Rel(v,...)] / [-Rel(v,...)] changes
+    joined by [;]. *)
 
 (** {2 Response builders} *)
 
 val ok_cite :
+  ?version:int ->
+  ?timestamp:int ->
+  ?digest:string ->
+  ?from_registration:bool ->
   query:string ->
   expr:string ->
   citations:Dc_citation.Citation.Set.t ->
@@ -47,16 +95,38 @@ val ok_cite :
   tuples:int ->
   rewritings:int ->
   ms:float ->
+  unit ->
   string
+(** The optional fields are the version stamp a CITE_AT response
+    carries; plain CITE responses omit them. *)
 
 val ok_citation :
   view:string -> citation:Dc_citation.Citation.t -> ms:float -> string
+
+val ok_commit : version:int -> size:int -> registrations:int -> ms:float -> string
+(** [version] is the new head, [size] the number of changes applied,
+    [registrations] how many registered queries were re-maintained. *)
+
+val ok_versions : head:int -> versions:(int * int option) list -> string
+
+val ok_verify : version:int -> valid:bool -> digest:string -> ms:float -> string
+(** [digest] echoes the digest the client asked about. *)
+
+val ok_register : query:string -> ms:float -> string
 
 val ok_stats : stats_json:string -> string
 (** Wraps an already-rendered {!Dc_citation.Metrics.to_json} object. *)
 
 val ok_health :
-  uptime_s:float -> views:int -> relations:int -> tuples:int -> string
+  ?version:int ->
+  uptime_s:float ->
+  views:int ->
+  relations:int ->
+  tuples:int ->
+  unit ->
+  string
+(** [version], when given, reports the versioned engine's head as
+    [head_version]. *)
 
 val ok_bye : string
 

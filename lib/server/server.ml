@@ -13,6 +13,7 @@ type config = {
   request_timeout_s : float;
   max_line_bytes : int;
   domains : int;
+  version_cache : int;
 }
 
 let default_config =
@@ -24,12 +25,23 @@ let default_config =
     request_timeout_s = 30.;
     max_line_bytes = 1 lsl 16;
     domains = 1;
+    version_cache = 4;
   }
 
 type state = Serving | Draining | Stopped
 
 type t = {
-  shards : C.Sharded_engine.t;
+  (* The v1 hot path: round-robin shards over the current head.  The
+     atomic lets COMMIT_DELTA swap in shards over the new head while
+     in-flight requests keep citing on the shard they already picked
+     (shards are immutable snapshots, so that is merely serving the
+     version that was head when their request arrived). *)
+  shards : C.Sharded_engine.t Atomic.t;
+  (* The versioned layer behind CITE_AT / COMMIT_DELTA / VERSIONS /
+     VERIFY / REGISTER; its version 0 engine is the engine [start] was
+     given, and its head always matches what [shards] serves (modulo
+     the commit/swap window). *)
+  versioned : C.Versioned_engine.t;
   config : config;
   listen_fd : Unix.file_descr;
   bound_port : int;
@@ -47,7 +59,7 @@ let port t = t.bound_port
 
 (* The primary shard: data-level reads (HEALTH, STATS) and the metrics
    registry — which every replica shares — go through it. *)
-let engine t = C.Sharded_engine.primary t.shards
+let engine t = C.Sharded_engine.primary (Atomic.get t.shards)
 
 (* ------------------------------------------------------------------ *)
 (* One-shot result cells.  Stdlib [Condition] has no timed wait, so the
@@ -94,8 +106,19 @@ let record_req m =
   C.Metrics.record C.Metrics.Key.server_requests;
   C.Metrics.incr m C.Metrics.Key.server_requests
 
+(* After a commit, rebuild the v1 shards over the (new) head engine.
+   Reads the head at swap time, so racing commits can only ever install
+   a {e newer} head than the one they committed — never roll one back. *)
+let refresh_shards t =
+  match C.Versioned_engine.engine_at t.versioned (C.Versioned_engine.head t.versioned) with
+  | Error _ -> () (* head vanished: impossible through the public API *)
+  | Ok head_eng ->
+      Atomic.set t.shards
+        (C.Sharded_engine.of_engine ~shards:t.config.domains head_eng)
+
 (* [eng] is the shard this request was dispatched to; HEALTH and STATS
-   read through the primary (replicas share data and metrics anyway). *)
+   read through the primary (replicas share data and metrics anyway).
+   Versioned commands go to [t.versioned] instead of the shard. *)
 let execute t eng (req : Protocol.request) =
   let m = C.Engine.metrics eng in
   C.Metrics.with_sink m @@ fun () ->
@@ -109,13 +132,15 @@ let execute t eng (req : Protocol.request) =
   | Protocol.Health ->
       let db = C.Engine.database (engine t) in
       Protocol.ok_health
+        ~version:(C.Versioned_engine.head t.versioned)
         ~uptime_s:(Unix.gettimeofday () -. t.started_at)
         ~views:(C.Citation_view.Set.size (C.Engine.citation_views (engine t)))
         ~relations:(List.length (R.Database.relation_names db))
         ~tuples:(R.Database.total_tuples db)
+        ()
   | Protocol.Cite q -> (
       C.Metrics.record_time "server_cite" @@ fun () ->
-      match C.Engine.cite_string eng q with
+      match C.Citer.cite_string (C.Citer.of_engine eng) q with
       | Error e ->
           record_err m;
           Protocol.error_line e
@@ -125,10 +150,81 @@ let execute t eng (req : Protocol.request) =
             ~citations:result.result_citations ~complete:result.complete
             ~tuples:(List.length result.tuples)
             ~rewritings:(List.length result.rewritings)
-            ~ms:(ms ())
+            ~ms:(ms ()) ()
       | exception ex ->
           record_err m;
           Protocol.error_line ("cite failed: " ^ Printexc.to_string ex))
+  | Protocol.Cite_at { version; query } -> (
+      C.Metrics.record_time "server_cite_at" @@ fun () ->
+      match Dc_cq.Parser.parse_query query with
+      | Error e ->
+          record_err m;
+          Protocol.error_line e
+      | Ok q -> (
+          match C.Versioned_engine.cite_at t.versioned version q with
+          | Error e ->
+              record_err m;
+              Protocol.error_line e
+          | Ok cited ->
+              let result = cited.C.Versioned_engine.result in
+              Protocol.ok_cite ~version:cited.C.Versioned_engine.version
+                ?timestamp:cited.C.Versioned_engine.timestamp
+                ~digest:cited.C.Versioned_engine.digest
+                ~from_registration:cited.C.Versioned_engine.from_registration
+                ~query
+                ~expr:(C.Cite_expr.to_string result.result_expr)
+                ~citations:result.result_citations ~complete:result.complete
+                ~tuples:(List.length result.tuples)
+                ~rewritings:(List.length result.rewritings)
+                ~ms:(ms ()) ()
+          | exception ex ->
+              record_err m;
+              Protocol.error_line ("cite_at failed: " ^ Printexc.to_string ex)))
+  | Protocol.Commit_delta delta -> (
+      C.Metrics.record_time "server_commit_delta" @@ fun () ->
+      match C.Versioned_engine.commit_delta t.versioned delta with
+      | Error e ->
+          record_err m;
+          Protocol.error_line e
+      | Ok version ->
+          refresh_shards t;
+          Protocol.ok_commit ~version ~size:(R.Delta.size delta)
+            ~registrations:
+              (List.length (C.Versioned_engine.registrations t.versioned))
+            ~ms:(ms ())
+      | exception ex ->
+          record_err m;
+          Protocol.error_line ("commit failed: " ^ Printexc.to_string ex))
+  | Protocol.Versions ->
+      let v = t.versioned in
+      Protocol.ok_versions
+        ~head:(C.Versioned_engine.head v)
+        ~versions:
+          (List.map
+             (fun ver -> (ver, C.Versioned_engine.timestamp v ver))
+             (C.Versioned_engine.versions v))
+  | Protocol.Verify { version; digest } -> (
+      C.Metrics.record_time "server_verify" @@ fun () ->
+      match C.Versioned_engine.verify t.versioned version digest with
+      | Error e ->
+          record_err m;
+          Protocol.error_line e
+      | Ok valid -> Protocol.ok_verify ~version ~valid ~digest ~ms:(ms ()))
+  | Protocol.Register query -> (
+      C.Metrics.record_time "server_register" @@ fun () ->
+      match Dc_cq.Parser.parse_query query with
+      | Error e ->
+          record_err m;
+          Protocol.error_line e
+      | Ok q -> (
+          match C.Versioned_engine.register t.versioned q with
+          | Error e ->
+              record_err m;
+              Protocol.error_line e
+          | Ok () -> Protocol.ok_register ~query ~ms:(ms ())
+          | exception ex ->
+              record_err m;
+              Protocol.error_line ("register failed: " ^ Printexc.to_string ex)))
   | Protocol.Cite_param { view; bindings } -> (
       C.Metrics.record_time "server_cite_param" @@ fun () ->
       match
@@ -183,7 +279,7 @@ let handle_request t ~send line =
           let iv = ivar () in
           (* shard chosen at submit time: round-robin, so consecutive
              requests land on different replicas (different locks) *)
-          let eng = C.Sharded_engine.pick t.shards in
+          let eng = C.Sharded_engine.pick (Atomic.get t.shards) in
           (match
              Worker_pool.submit t.pool (fun () ->
                  ivar_fill iv
@@ -277,6 +373,8 @@ let accept_loop t =
 
 let start ?(config = default_config) eng =
   if config.domains < 1 then invalid_arg "Server.start: domains < 1";
+  if config.version_cache < 1 then
+    invalid_arg "Server.start: version_cache < 1";
   let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
      Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
@@ -298,7 +396,10 @@ let start ?(config = default_config) eng =
   let parallel = config.domains > 1 in
   let t =
     {
-      shards = C.Sharded_engine.of_engine ~shards:config.domains eng;
+      shards =
+        Atomic.make (C.Sharded_engine.of_engine ~shards:config.domains eng);
+      versioned =
+        C.Versioned_engine.of_engine ~capacity:config.version_cache eng;
       config;
       listen_fd;
       bound_port;

@@ -20,6 +20,21 @@
     With [domains = 1] (the default) the behaviour is exactly the
     systhread architecture above.
 
+    {b Versioned serving.}  The engine handed to {!start} becomes
+    version 0 of a {!Dc_citation.Versioned_engine}; the protocol-v2
+    commands route to it: [CITE_AT v] cites against any committed
+    version (responses carry the version, commit timestamp and fixity
+    digest), [COMMIT_DELTA] advances the head — after which the v1
+    [CITE] shards are atomically rebuilt over the new head, while
+    requests already dispatched keep serving the version that was head
+    when they arrived — [VERSIONS] lists history, [VERIFY] checks a
+    digest, and [REGISTER] arms incremental maintenance so repeated
+    head citations of the same query are served from the maintained
+    registration.  A commit never blocks in-flight [CITE]/[CITE_AT]s
+    on other engines, and a checkout failure (unknown version, bad
+    delta) costs exactly one [ERR] line like every other request
+    failure.
+
     Every request bumps {!Dc_citation.Metrics} ([server_requests],
     [server_errors], [server_queue_depth] high-water, and
     [server_cite]/[server_cite_param]/[server_stats] timers) on the
@@ -40,11 +55,14 @@ type config = {
       (** [1] = systhread workers over one shared engine; [N > 1] = [N]
           domain-backed workers over [N] engine shards ([workers] is
           then ignored — parallelism is the worker count) *)
+  version_cache : int;
+      (** LRU bound on materialized per-version engines for [CITE_AT]
+          (the head engine is never evicted); minimum 1 *)
 }
 
 val default_config : config
 (** [127.0.0.1:7421], 4 workers, queue 64, 30s timeout, 64KiB lines,
-    1 domain. *)
+    1 domain, 4 cached version engines. *)
 
 type t
 

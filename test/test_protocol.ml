@@ -3,10 +3,19 @@
 module P = Dc_server.Protocol
 module R = Dc_relational
 
+(* [Commit_delta] carries a map whose internal tree shape depends on
+   insertion order, so request equality goes through the change lists,
+   not polymorphic [=] on the map. *)
+let req_equal a b =
+  match (a, b) with
+  | P.Commit_delta da, P.Commit_delta db ->
+      R.Delta.changes da = R.Delta.changes db
+  | _ -> a = b
+
 let req =
   Alcotest.testable
     (fun ppf r -> Format.pp_print_string ppf (P.render_request r))
-    ( = )
+    req_equal
 
 let roundtrip name r () =
   Alcotest.(check (result req string))
@@ -28,6 +37,102 @@ let test_roundtrips () =
          bindings = [ ("FID", R.Value.Int 3); ("Name", R.Value.Str "gnrh") ];
        })
     ()
+
+let test_v2_roundtrips () =
+  roundtrip "cite_at"
+    (P.Cite_at { version = 3; query = "Q(X) :- Family(X,N,D)" })
+    ();
+  roundtrip "versions" P.Versions ();
+  roundtrip "verify"
+    (P.Verify { version = 0; digest = "d41d8cd98f00b204e9800998ecf8427e" })
+    ();
+  roundtrip "register" (P.Register "Q(X) :- Family(X,N,D)") ();
+  let delta =
+    R.Delta.insert
+      (R.Delta.delete R.Delta.empty "Family"
+         (R.Tuple.make [ R.Value.Int 9; R.Value.Str "old" ]))
+      "Family"
+      (R.Tuple.make [ R.Value.Int 10; R.Value.Str "fresh" ])
+  in
+  roundtrip "commit_delta" (P.Commit_delta delta) ();
+  let multi =
+    R.Delta.insert
+      (R.Delta.insert R.Delta.empty "A" (R.Tuple.make [ R.Value.Int 1 ]))
+      "B"
+      (R.Tuple.make [ R.Value.Int 2; R.Value.Int 3 ])
+  in
+  roundtrip "commit_delta two relations" (P.Commit_delta multi) ()
+
+let test_v2_prefix () =
+  (* Every v1 command is valid under the V2 prefix, and the v2 commands
+     are accepted bare. *)
+  Alcotest.(check (result req string))
+    "V2 CITE" (Ok (P.Cite "Q(X) :- R(X)"))
+    (P.parse_request "V2 CITE Q(X) :- R(X)");
+  Alcotest.(check (result req string))
+    "V2 STATS" (Ok P.Stats) (P.parse_request "v2 stats");
+  Alcotest.(check (result req string))
+    "bare CITE_AT"
+    (Ok (P.Cite_at { version = 1; query = "Q(X) :- R(X)" }))
+    (P.parse_request "CITE_AT 1 Q(X) :- R(X)");
+  Alcotest.(check (result req string))
+    "bare VERSIONS" (Ok P.Versions) (P.parse_request "versions")
+
+(* Property round trip across all request shapes: safe strings avoid
+   the documented wire limitations (no [,;()=] or spaces in scalars, no
+   integer-shaped strings). *)
+let safe_str =
+  QCheck.Gen.(
+    string_size ~gen:(oneofl [ 'a'; 'b'; 'c'; 'x'; 'y'; 'z' ]) (1 -- 8))
+
+let gen_value =
+  QCheck.Gen.(
+    oneof
+      [ map (fun n -> R.Value.Int n) small_int;
+        map (fun s -> R.Value.Str s) safe_str ])
+
+let gen_tuple = QCheck.Gen.(map R.Tuple.make (list_size (1 -- 3) gen_value))
+
+let gen_delta =
+  QCheck.Gen.(
+    map
+      (List.fold_left
+         (fun d (ins, rel, t) ->
+           if ins then R.Delta.insert d rel t else R.Delta.delete d rel t)
+         R.Delta.empty)
+      (list_size (1 -- 5) (triple bool safe_str gen_tuple)))
+
+let gen_request =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun s -> P.Cite ("Q(X) :- " ^ s ^ "(X)")) safe_str;
+        map2
+          (fun view bindings -> P.Cite_param { view; bindings })
+          safe_str
+          (list_size (0 -- 3) (pair safe_str gen_value));
+        map2
+          (fun version s ->
+            P.Cite_at { version; query = "Q(X) :- " ^ s ^ "(X)" })
+          small_nat safe_str;
+        map (fun d -> P.Commit_delta d) gen_delta;
+        return P.Versions;
+        map2 (fun version digest -> P.Verify { version; digest }) small_nat
+          safe_str;
+        map (fun s -> P.Register ("Q(X) :- " ^ s ^ "(X)")) safe_str;
+        return P.Stats;
+        return P.Health;
+        return P.Quit;
+      ])
+
+let arb_request =
+  QCheck.make ~print:(fun r -> P.render_request r) gen_request
+
+let test_roundtrip_prop =
+  Testutil.qtest "render/parse round trip" arb_request (fun r ->
+      match P.parse_request (P.render_request r) with
+      | Ok r' -> req_equal r r'
+      | Error _ -> false)
 
 let test_lenient_parse () =
   Alcotest.(check (result req string))
@@ -61,6 +166,22 @@ let test_malformed () =
   check_err "health with args" "HEALTH please";
   check_err "quit with args" "QUIT 0"
 
+let test_v2_malformed () =
+  check_err "V2 alone" "V2";
+  check_err "V2 unknown" "V2 BOGUS";
+  check_err "cite_at no version" "V2 CITE_AT";
+  check_err "cite_at bad version" "V2 CITE_AT one Q(X) :- R(X)";
+  check_err "cite_at no query" "V2 CITE_AT 3";
+  check_err "commit_delta empty" "V2 COMMIT_DELTA";
+  check_err "commit_delta truncated" "V2 COMMIT_DELTA +R(1";
+  check_err "commit_delta no sign" "V2 COMMIT_DELTA R(1)";
+  check_err "commit_delta empty tuple" "V2 COMMIT_DELTA +R()";
+  check_err "commit_delta no relation" "V2 COMMIT_DELTA +(1)";
+  check_err "versions with args" "V2 VERSIONS now";
+  check_err "verify no digest" "V2 VERIFY 0";
+  check_err "verify bad version" "V2 VERIFY x abc";
+  check_err "register no query" "V2 REGISTER"
+
 let test_parse_total =
   Testutil.qtest "parse_request never raises" QCheck.string (fun s ->
       match P.parse_request s with Ok _ | Error _ -> true)
@@ -86,23 +207,36 @@ let test_classify () =
   | _ -> Alcotest.fail "garbage is `Malformed");
   match
     P.classify_response
-      (P.ok_health ~uptime_s:1.5 ~views:3 ~relations:7 ~tuples:12)
+      (P.ok_health ~uptime_s:1.5 ~views:3 ~relations:7 ~tuples:12 ())
   with
   | `Ok line ->
+      let contains sub =
+        let n = String.length line and m = String.length sub in
+        let rec at i = i + m <= n && (String.sub line i m = sub || at (i + 1)) in
+        at 0
+      in
       Alcotest.(check bool)
         "health carries tuple count" true
-        (let sub = {|"tuples":12|} in
-         let n = String.length line and m = String.length sub in
-         let rec at i = i + m <= n && (String.sub line i m = sub || at (i + 1)) in
-         at 0)
+        (contains {|"tuples":12|});
+      Alcotest.(check bool)
+        "health carries protocol handshake" true
+        (contains
+           (Printf.sprintf {|"protocol":%d|} P.protocol_version));
+      Alcotest.(check bool)
+        "health lists accepted protocols" true
+        (contains {|"protocols":[1,2]|})
   | _ -> Alcotest.fail "ok_health is `Ok"
 
 let suite =
   [
     Alcotest.test_case "round trips" `Quick test_roundtrips;
+    Alcotest.test_case "v2 round trips" `Quick test_v2_roundtrips;
+    Alcotest.test_case "v2 prefix" `Quick test_v2_prefix;
     Alcotest.test_case "lenient parsing" `Quick test_lenient_parse;
     Alcotest.test_case "malformed requests" `Quick test_malformed;
+    Alcotest.test_case "v2 malformed requests" `Quick test_v2_malformed;
     test_parse_total;
+    test_roundtrip_prop;
     Alcotest.test_case "error lines" `Quick test_error_line;
     Alcotest.test_case "classify responses" `Quick test_classify;
   ]

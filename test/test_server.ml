@@ -98,6 +98,173 @@ let test_concurrent_clients () =
     "server_requests surfaced" true
     (contains body {|"server_requests":10|})
 
+(* --- protocol v2: versioned serving over loopback ------------------ *)
+
+let find_sub line sub =
+  let n = String.length line and m = String.length sub in
+  let rec at i =
+    if i + m > n then None
+    else if String.sub line i m = sub then Some i
+    else at (i + 1)
+  in
+  at 0
+
+(* Extract the string value of a ["key":"..."] field. *)
+let extract_str line key =
+  let marker = Printf.sprintf {|"%s":"|} key in
+  match find_sub line marker with
+  | None -> Alcotest.failf "no %s field in %S" key line
+  | Some i ->
+      let start = i + String.length marker in
+      let e = String.index_from line start '"' in
+      String.sub line start (e - start)
+
+(* Extract the integer value of a ["key":n] field. *)
+let extract_int line key =
+  let marker = Printf.sprintf {|"%s":|} key in
+  match find_sub line marker with
+  | None -> Alcotest.failf "no %s field in %S" key line
+  | Some i ->
+      let start = i + String.length marker in
+      let e = ref start in
+      while
+        !e < String.length line
+        && (match line.[!e] with '0' .. '9' | '-' -> true | _ -> false)
+      do
+        incr e
+      done;
+      int_of_string (String.sub line start (!e - start))
+
+(* A response minus its trailing ms field: what must be byte-identical
+   across repeated citations of the same version. *)
+let sans_ms line =
+  match find_sub line {|,"ms":|} with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let cite_at_0 = "V2 CITE_AT 0 Q(N) :- Family(F,N,D)"
+
+let test_versioned_roundtrip () =
+  with_server @@ fun _engine server ->
+  let conn = S.Client.connect ~port:(S.Server.port server) () in
+  Fun.protect ~finally:(fun () -> S.Client.close conn) @@ fun () ->
+  let req line = S.Client.request conn line in
+  (* handshake: HEALTH advertises the protocol and the head version *)
+  let health = expect_ok "health" (req "HEALTH") in
+  Alcotest.(check bool) "protocol advertised" true
+    (contains health {|"protocol":2|});
+  Alcotest.(check bool) "head version 0" true
+    (contains health {|"head_version":0|});
+  let versions = expect_ok "versions" (req "V2 VERSIONS") in
+  Alcotest.(check bool) "head 0" true (contains versions {|"head":0|});
+  (* cite at version 0, remember the stamped response *)
+  let at0 = expect_ok "cite_at 0" (req cite_at_0) in
+  Alcotest.(check bool) "version stamp" true (contains at0 {|"version":0|});
+  let digest = extract_str at0 "digest" in
+  Alcotest.(check bool) "digest non-empty" true (digest <> "");
+  (* commit a delta: the head advances *)
+  let commit =
+    expect_ok "commit"
+      (req "V2 COMMIT_DELTA +Family(30,Orexin,O1);+FamilyIntro(30,intro)")
+  in
+  Alcotest.(check bool) "new head 1" true (contains commit {|"version":1|});
+  let health' = expect_ok "health after commit" (req "HEALTH") in
+  Alcotest.(check bool) "head_version moved" true
+    (contains health' {|"head_version":1|});
+  (* a v1 client sees the new head through plain CITE *)
+  let head_cite = expect_ok "v1 cite after commit" (req cite_q) in
+  let at1 = expect_ok "cite_at 1" (req "V2 CITE_AT 1 Q(N) :- Family(F,N,D)") in
+  Alcotest.(check string) "CITE = CITE_AT head (modulo stamp+ms)"
+    (extract_str head_cite "expr")
+    (extract_str at1 "expr");
+  Alcotest.(check int) "head sees one more tuple"
+    (extract_int at0 "tuples" + 1)
+    (extract_int at1 "tuples");
+  (* version 0 is still served, byte-identical to before the commit *)
+  let at0' = expect_ok "cite_at 0 after commit" (req cite_at_0) in
+  Alcotest.(check string) "pre-delta citation unchanged" (sans_ms at0)
+    (sans_ms at0');
+  (* fixity: the recorded digest verifies, a tampered one does not *)
+  let verify = expect_ok "verify" (req ("V2 VERIFY 0 " ^ digest)) in
+  Alcotest.(check bool) "valid" true (contains verify {|"valid":true|});
+  let tampered = "0" ^ String.sub digest 1 (String.length digest - 1) in
+  let tampered = if tampered = digest then "1" ^ String.sub digest 1 (String.length digest - 1) else tampered in
+  let verify' = expect_ok "verify tampered" (req ("V2 VERIFY 0 " ^ tampered)) in
+  Alcotest.(check bool) "invalid" true (contains verify' {|"valid":false|});
+  (* failures cost one ERR line and never kill the connection *)
+  (match req "V2 CITE_AT 99 Q(N) :- Family(F,N,D)" with
+  | Some line when String.length line >= 4 && String.sub line 0 4 = "ERR " ->
+      ()
+  | other ->
+      Alcotest.failf "unknown version should ERR, got %s"
+        (Option.value ~default:"<closed>" other));
+  (match req "V2 COMMIT_DELTA +NoSuchRelation(1)" with
+  | Some line when String.length line >= 4 && String.sub line 0 4 = "ERR " ->
+      ()
+  | other ->
+      Alcotest.failf "bad delta should ERR, got %s"
+        (Option.value ~default:"<closed>" other));
+  (* registration: REGISTER arms incremental serving at head *)
+  let reg = expect_ok "register" (req "V2 REGISTER Q(N) :- Family(F,N,D)") in
+  Alcotest.(check bool) "registered" true (contains reg {|"registered":|});
+  let warm = expect_ok "cite_at head registered" (req "V2 CITE_AT 1 Q(N) :- Family(F,N,D)") in
+  Alcotest.(check bool) "served from registration" true
+    (contains warm {|"from_registration":true|});
+  (* connection still healthy end to end *)
+  let bye = req "QUIT" in
+  Alcotest.(check bool) "bye" true
+    (contains (Option.value ~default:"" bye) {|"bye":true|})
+
+(* Old versions keep serving while commits land concurrently: the
+   commit path must never block or corrupt in-flight CITE_ATs.  Runs
+   the server with 2 domains so requests execute truly in parallel. *)
+let test_versioned_concurrent_commits () =
+  let engine =
+    C.Engine.create
+      (Dc_gtopdb.Paper_views.example_database ())
+      Dc_gtopdb.Paper_views.all
+  in
+  let config = { S.Server.default_config with port = 0; domains = 2 } in
+  let server = S.Server.start ~config engine in
+  Fun.protect ~finally:(fun () -> S.Server.stop server) @@ fun () ->
+  let baseline = sans_ms (expect_ok "baseline" (request server cite_at_0)) in
+  let failures = Atomic.make 0 in
+  let commits = 5 in
+  let committer =
+    Thread.create
+      (fun () ->
+        for i = 1 to commits do
+          let line =
+            Printf.sprintf "V2 COMMIT_DELTA +Family(%d,Fam%d,D%d)" (100 + i) i
+              i
+          in
+          match request server line with
+          | Some resp when contains resp {|"ok":true|} -> ()
+          | _ -> Atomic.incr failures
+        done)
+      ()
+  in
+  (* hammer the pre-delta version while the commits land *)
+  for _ = 1 to 20 do
+    match request server cite_at_0 with
+    | Some line when sans_ms line = baseline -> ()
+    | _ -> Atomic.incr failures
+  done;
+  Thread.join committer;
+  Alcotest.(check int) "no failures under concurrent commits" 0
+    (Atomic.get failures);
+  let versions = expect_ok "final versions" (request server "V2 VERSIONS") in
+  Alcotest.(check bool) "all commits landed" true
+    (contains versions (Printf.sprintf {|"head":%d|} commits));
+  (* and the head now serves the committed data *)
+  let head =
+    expect_ok "cite head"
+      (request server
+         (Printf.sprintf "V2 CITE_AT %d Q(N) :- Family(F,N,D)" commits))
+  in
+  Alcotest.(check bool) "head differs from v0" true
+    (sans_ms head <> baseline)
+
 let test_graceful_shutdown () =
   let engine, server = fresh_server () in
   ignore engine;
@@ -128,6 +295,10 @@ let suite =
     Alcotest.test_case "cite over loopback" `Quick test_cite_roundtrip;
     Alcotest.test_case "error isolation" `Quick test_error_isolation;
     Alcotest.test_case "4 concurrent clients" `Quick test_concurrent_clients;
+    Alcotest.test_case "versioned protocol roundtrip" `Quick
+      test_versioned_roundtrip;
+    Alcotest.test_case "cite_at during concurrent commits" `Quick
+      test_versioned_concurrent_commits;
     Alcotest.test_case "graceful shutdown on SIGTERM" `Quick
       test_graceful_shutdown;
   ]

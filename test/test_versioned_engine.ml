@@ -1,0 +1,271 @@
+(* Versioned engine: cite-as-of determinism, fixity digests, LRU
+   eviction, registrations maintained across commits, and the shared
+   delta-application path. *)
+
+open Testutil
+module C = Dc_citation
+module V = Dc_citation.Versioned_engine
+module E = Dc_citation.Engine
+module I = Dc_citation.Incremental
+module R = Dc_relational
+module D = Dc_relational.Delta
+
+let q = Dc_gtopdb.Paper_views.query_q
+let views = Dc_gtopdb.Paper_views.all
+let policy () = C.Policy.make ~alt_r:C.Policy.Keep_all ()
+
+let make ?capacity () =
+  V.create ?capacity ~selection:`All ~policy:(policy ()) (paper_db ()) views
+
+(* Everything observable about a result, as one string: the JSON
+   summary plus every tuple's normalized expression.  Byte equality of
+   fingerprints is the paper's determinism requirement for cite-as-of. *)
+let fingerprint (r : E.result) =
+  E.result_to_json r
+  ^ "§"
+  ^ String.concat "|"
+      (List.map
+         (fun (tc : E.tuple_citation) ->
+           R.Tuple.to_string tc.tuple ^ "="
+           ^ C.Cite_expr.to_string (C.Cite_expr.normalize tc.expr))
+         r.tuples)
+
+(* Tuple-level fingerprint only (no enumeration stats): what a
+   registration-served result must share with a fresh recomputation. *)
+let tuple_fingerprint (r : E.result) =
+  String.concat "|"
+    (List.map
+       (fun (tc : E.tuple_citation) ->
+         R.Tuple.to_string tc.tuple ^ "="
+         ^ C.Cite_expr.to_string (C.Cite_expr.normalize tc.expr))
+       r.tuples)
+
+let ok_exn what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: unexpected error %s" what e
+
+let delta_orexin () =
+  D.empty
+  |> (fun d -> D.insert d "Family" (tuple [ int 30; str "Orexin"; str "O1" ]))
+  |> fun d -> D.insert d "FamilyIntro" (tuple [ int 30; str "Orexin intro" ])
+
+let delta_galanin () =
+  D.empty
+  |> (fun d -> D.insert d "Family" (tuple [ int 31; str "Galanin"; str "G1" ]))
+  |> fun d -> D.insert d "FamilyIntro" (tuple [ int 31; str "Galanin intro" ])
+
+(* A fresh single-version engine over [db]: the recomputation oracle. *)
+let oracle db = E.create ~selection:`All ~policy:(policy ()) db views
+
+let test_cite_at_determinism () =
+  let ve = make () in
+  let before = ok_exn "cite v0" (V.cite_at ve 0 q) in
+  Alcotest.(check int) "version stamped" 0 before.V.version;
+  Alcotest.(check bool) "digest non-empty" true (before.V.digest <> "");
+  let v1 = ok_exn "commit" (V.commit_delta ve (delta_orexin ())) in
+  Alcotest.(check int) "head advanced" 1 v1;
+  Alcotest.(check int) "head accessor" 1 (V.head ve);
+  (* pre-delta version: byte-identical citations, same digest *)
+  let after = ok_exn "cite v0 again" (V.cite_at ve 0 q) in
+  Alcotest.(check string)
+    "pre-delta citations byte-identical"
+    (fingerprint before.V.result)
+    (fingerprint after.V.result);
+  Alcotest.(check string) "same digest" before.V.digest after.V.digest;
+  Alcotest.(check bool)
+    "digest verifies" true
+    (ok_exn "verify" (V.verify ve 0 before.V.digest));
+  (* the head sees the delta *)
+  let head = ok_exn "cite head" (V.cite_at ve 1 q) in
+  Alcotest.(check int) "head has the new family" 3
+    (List.length head.V.result.E.tuples);
+  Alcotest.(check int) "old version unchanged" 2
+    (List.length after.V.result.E.tuples);
+  Alcotest.(check bool)
+    "digests differ across versions" true
+    (head.V.digest <> before.V.digest);
+  (* and [cite] is cite_at head *)
+  let via_cite = ok_exn "cite" (V.cite ve q) in
+  Alcotest.(check string) "cite = cite_at head"
+    (fingerprint head.V.result)
+    (fingerprint via_cite.V.result)
+
+let test_digest_tampering () =
+  let ve = make () in
+  let d = ok_exn "digest" (V.digest_at ve 0) in
+  Alcotest.(check bool) "correct digest verifies" true
+    (ok_exn "verify ok" (V.verify ve 0 d));
+  let tampered =
+    String.mapi (fun i c -> if i = 0 then (if c = '0' then '1' else '0') else c) d
+  in
+  Alcotest.(check bool) "tampered digest fails" false
+    (ok_exn "verify tampered" (V.verify ve 0 tampered));
+  (match V.verify ve 99 d with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown version must be an Error");
+  match V.cite_at ve 99 q with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "cite_at unknown version must be an Error"
+
+let test_commit_errors () =
+  let ve = make () in
+  (match
+     V.commit_delta ve (D.insert D.empty "NoSuchRelation" (int_tuple [ 1 ]))
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown relation must be an Error");
+  (match V.commit_delta ve (D.insert D.empty "Family" (int_tuple [ 1 ])) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "schema mismatch must be an Error");
+  (* failed commits change nothing *)
+  Alcotest.(check int) "head still 0" 0 (V.head ve);
+  Alcotest.(check (list int)) "only version 0" [ 0 ] (V.versions ve);
+  let c = ok_exn "cite after failed commits" (V.cite ve q) in
+  Alcotest.(check int) "still two tuples" 2 (List.length c.V.result.E.tuples)
+
+let test_lru_eviction () =
+  let ve = make ~capacity:2 () in
+  let v0 = ok_exn "cite v0 cold" (V.cite_at ve 0 q) in
+  ignore (ok_exn "commit 1" (V.commit_delta ve (delta_orexin ())));
+  ignore (ok_exn "commit 2" (V.commit_delta ve (delta_galanin ())));
+  (* materialize head (2), then 1: capacity 2 forces version 0 out *)
+  ignore (ok_exn "cite head" (V.cite_at ve 2 q));
+  ignore (ok_exn "cite v1" (V.cite_at ve 1 q));
+  let cached = List.sort compare (V.cached_versions ve) in
+  Alcotest.(check bool) "at most 2 cached" true (List.length cached <= 2);
+  Alcotest.(check bool) "version 0 evicted" false (List.mem 0 cached);
+  Alcotest.(check bool) "head survives" true (List.mem 2 cached);
+  Alcotest.(check bool)
+    "evictions counted" true
+    (C.Metrics.count (V.metrics ve) C.Metrics.Key.version_cache_evictions >= 1);
+  (* re-materialized v0 engine reproduces the original citations
+     byte-for-byte, and matches a fresh-engine oracle *)
+  let again = ok_exn "cite v0 after eviction" (V.cite_at ve 0 q) in
+  Alcotest.(check string)
+    "eviction does not change citations"
+    (fingerprint v0.V.result)
+    (fingerprint again.V.result);
+  let fresh = E.cite (oracle (paper_db ())) q in
+  Alcotest.(check string)
+    "matches fresh-engine oracle" (fingerprint fresh)
+    (fingerprint again.V.result);
+  (* head engine keeps being served from cache while old versions churn *)
+  Alcotest.(check bool)
+    "hits recorded" true
+    (C.Metrics.count (V.metrics ve) C.Metrics.Key.version_cache_hits >= 1)
+
+let test_registration_maintained () =
+  let ve = make () in
+  let cold = ok_exn "cite before register" (V.cite ve q) in
+  Alcotest.(check bool) "engine-served" false cold.V.from_registration;
+  ok_exn "register" (V.register ve q);
+  let warm = ok_exn "cite after register" (V.cite ve q) in
+  Alcotest.(check bool) "registration-served" true warm.V.from_registration;
+  Alcotest.(check string) "same tuples either way"
+    (tuple_fingerprint cold.V.result)
+    (tuple_fingerprint warm.V.result);
+  (* commit: the registration advances with the head *)
+  ignore (ok_exn "commit" (V.commit_delta ve (delta_orexin ())));
+  Alcotest.(check int)
+    "maintenance counted" 1
+    (C.Metrics.count (V.metrics ve) C.Metrics.Key.registrations_maintained);
+  let head = ok_exn "cite head post-commit" (V.cite ve q) in
+  Alcotest.(check bool) "still registration-served" true
+    head.V.from_registration;
+  let fresh = E.cite (oracle (D.apply (paper_db ()) (delta_orexin ()))) q in
+  Alcotest.(check string)
+    "maintained registration = fresh recompute" (tuple_fingerprint fresh)
+    (tuple_fingerprint head.V.result);
+  (* old version is engine-served, with pre-delta answers *)
+  let old = ok_exn "cite v0" (V.cite_at ve 0 q) in
+  Alcotest.(check bool) "old version engine-served" false
+    old.V.from_registration;
+  Alcotest.(check int) "old version pre-delta" 2
+    (List.length old.V.result.E.tuples)
+
+(* Regression for the shared delta-application path: a delta that
+   inserts and then deletes the same tuple is order-sensitive, so the
+   store head and every derived state must come from ONE application
+   ([Version_store.apply_head]), not from independent re-applications
+   that could disagree on ordering. *)
+let test_shared_delta_path () =
+  let ve = make () in
+  ok_exn "register" (V.register ve q);
+  let tricky =
+    delta_orexin ()
+    |> (fun d -> D.insert d "Family" (tuple [ int 40; str "Ghost"; str "G" ]))
+    |> fun d -> D.delete d "Family" (tuple [ int 40; str "Ghost"; str "G" ])
+  in
+  ignore (ok_exn "commit tricky" (V.commit_delta ve tricky));
+  (* the head database is exactly one application of the delta *)
+  let expected_db = D.apply (paper_db ()) tricky in
+  let head_eng = ok_exn "head engine" (V.engine_at ve (V.head ve)) in
+  Alcotest.(check bool)
+    "head db = single delta application" true
+    (R.Database.equal expected_db (E.database head_eng));
+  (* and the maintained registration answers over that same database *)
+  let reg_served = ok_exn "cite head" (V.cite ve q) in
+  Alcotest.(check bool) "served from registration" true
+    reg_served.V.from_registration;
+  let fresh = E.cite (oracle expected_db) q in
+  Alcotest.(check string)
+    "registration agrees with oracle over shared db"
+    (tuple_fingerprint fresh)
+    (tuple_fingerprint reg_served.V.result)
+
+let test_timestamps_and_store () =
+  let ve = make () in
+  ignore (ok_exn "commit" (V.commit_delta ve (delta_orexin ())));
+  Alcotest.(check (list int)) "versions" [ 0; 1 ] (V.versions ve);
+  (* the default deterministic clock stamps version i at i+1 *)
+  Alcotest.(check (option int)) "v0 timestamp" (Some 1) (V.timestamp ve 0);
+  Alcotest.(check (option int)) "v1 timestamp" (Some 2) (V.timestamp ve 1);
+  Alcotest.(check (option int)) "unknown timestamp" None (V.timestamp ve 9);
+  let stamped = ok_exn "cite v1" (V.cite_at ve 1 q) in
+  Alcotest.(check (option int)) "stamp carries commit time" (Some 2)
+    stamped.V.timestamp;
+  (* the store snapshot is persistent: committing after taking it does
+     not change what the snapshot sees *)
+  let snap = V.store ve in
+  ignore (ok_exn "commit 2" (V.commit_delta ve (delta_galanin ())));
+  Alcotest.(check int) "snapshot head unmoved" 1 (R.Version_store.head snap);
+  Alcotest.(check int) "live head moved" 2 (V.head ve)
+
+let test_citer_dispatch () =
+  (* the same query through all three CITER backends agrees *)
+  let db = paper_db () in
+  let eng = oracle db in
+  let sharded = C.Sharded_engine.of_engine ~shards:2 (oracle db) in
+  let ve = make () in
+  let via_engine = C.Citer.cite (C.Citer.of_engine eng) q in
+  let via_sharded = C.Citer.cite (C.Citer.of_sharded sharded) q in
+  let via_versioned = C.Citer.cite (C.Citer.of_versioned ve) q in
+  Alcotest.(check string) "engine = sharded" (fingerprint via_engine)
+    (fingerprint via_sharded);
+  Alcotest.(check string) "engine = versioned" (fingerprint via_engine)
+    (fingerprint via_versioned);
+  (* cite_string and batch dispatch too *)
+  let qs = [ q; q ] in
+  Alcotest.(check int) "batch length" 2
+    (List.length (C.Citer.cite_batch (C.Citer.of_versioned ve) qs));
+  match C.Citer.cite_string (C.Citer.of_engine eng) "not a query" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "parse failure must be an Error"
+
+let suite =
+  [
+    Alcotest.test_case "cite_at determinism across commits" `Quick
+      test_cite_at_determinism;
+    Alcotest.test_case "digest tampering fails verify" `Quick
+      test_digest_tampering;
+    Alcotest.test_case "commit failures are errors" `Quick test_commit_errors;
+    Alcotest.test_case "LRU eviction keeps determinism" `Quick
+      test_lru_eviction;
+    Alcotest.test_case "registrations maintained across commits" `Quick
+      test_registration_maintained;
+    Alcotest.test_case "shared delta-application path" `Quick
+      test_shared_delta_path;
+    Alcotest.test_case "timestamps and store snapshots" `Quick
+      test_timestamps_and_store;
+    Alcotest.test_case "CITER backends agree" `Quick test_citer_dispatch;
+  ]
