@@ -1,10 +1,10 @@
 (* Timing and table-printing helpers shared by the experiment drivers. *)
 
+(* Monotonic: a clock step mid-measurement must not corrupt a timing. *)
 let time_ms f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Dc_clock.Monotonic.now_s () in
   let result = f () in
-  let t1 = Unix.gettimeofday () in
-  (result, (t1 -. t0) *. 1000.)
+  (result, Dc_clock.Monotonic.elapsed_ms t0)
 
 (* Median of [runs] timed executions (the result of the first run is
    returned, so [f] should be deterministic). *)
@@ -54,6 +54,16 @@ let json_ms v = Printf.sprintf "%.3f" v
 let write_bench_json ~experiment fields =
   let path = Printf.sprintf "BENCH_%s.json" experiment in
   let oc = open_out path in
+  (* Every experiment records the core count: a scaling number is
+     meaningless without knowing how many cores the box could give
+     (CI has flagged "speedups" measured on one core before). *)
+  let cores =
+    ( "cores",
+      string_of_int (Dc_parallel.Domain_pool.available_cores ()) )
+  in
+  let fields =
+    cores :: List.filter (fun (k, _) -> k <> "cores") fields
+  in
   output_string oc (json_obj (("experiment", json_str experiment) :: fields));
   output_char oc '\n';
   close_out oc;

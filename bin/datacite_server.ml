@@ -71,8 +71,8 @@ let workers_arg =
 let domains_arg =
   let doc =
     "Parallel domains: 1 serves on worker threads over one engine; N > 1 \
-     serves on N domains over N engine shards (see README, \"Parallel \
-     evaluation\")."
+     serves on N domains over N engine shards, clamped to the machine's \
+     core count (see README, \"Parallel evaluation\")."
   in
   Arg.(
     value

@@ -1,0 +1,4 @@
+external now_ns : unit -> int64 = "dc_clock_monotonic_ns"
+
+let now_s () = Int64.to_float (now_ns ()) *. 1e-9
+let elapsed_ms t0 = (now_s () -. t0) *. 1000.

@@ -1,0 +1,25 @@
+(** Monotonic time for measuring durations and arming deadlines.
+
+    [Unix.gettimeofday] follows the wall clock: an NTP step (or an
+    operator setting the date) moves it backwards or jumps it forward,
+    which fires or indefinitely defers any deadline computed from it
+    and corrupts latency measurements.  This clock only ever moves
+    forward, at (approximately) one second per second, so it is the
+    right base for timeouts, latency histograms and benchmark timing.
+    Its absolute value is meaningless — only differences are: keep the
+    wall clock for timestamps meant for humans (citation [created]
+    times, log lines).
+
+    Safe to call from any thread or domain; never allocates more than
+    one boxed int64. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds since an arbitrary fixed point (boot, typically). *)
+
+val now_s : unit -> float
+(** {!now_ns} in seconds.  Float precision loses sub-microsecond detail
+    after long uptimes; fine for millisecond-scale measurement. *)
+
+val elapsed_ms : float -> float
+(** [elapsed_ms t0] is the milliseconds elapsed since the {!now_s}
+    reading [t0]. *)

@@ -1,0 +1,20 @@
+/* Monotonic clock for durations: immune to NTP steps and manual clock
+   changes, unlike gettimeofday.  CLOCK_MONOTONIC is POSIX; the
+   fallback (no known modern target needs it) degrades to the realtime
+   clock rather than failing to build. */
+
+#include <caml/alloc.h>
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value dc_clock_monotonic_ns(value unit)
+{
+  struct timespec ts;
+#ifdef CLOCK_MONOTONIC
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+#else
+  clock_gettime(CLOCK_REALTIME, &ts);
+#endif
+  (void) unit;
+  return caml_copy_int64((int64_t) ts.tv_sec * 1000000000 + ts.tv_nsec);
+}

@@ -54,8 +54,16 @@ type t = {
   lock : Mutex.t;
 }
 
+(* Every [locked] call site runs under [with_sink e.metrics], so a
+   contended acquisition is charged to the engine's own registry as
+   well as the default one.  [try_lock] first: the uncontended path
+   costs one atomic attempt, the contended one is counted — that
+   counter is exactly what E14 uses to attribute (lack of) scaling. *)
 let locked e f =
-  Mutex.lock e.lock;
+  if not (Mutex.try_lock e.lock) then begin
+    Metrics.record Metrics.Key.engine_lock_waits;
+    Mutex.lock e.lock
+  end;
   Fun.protect ~finally:(fun () -> Mutex.unlock e.lock) f
 
 let materialize ?cache base cviews =

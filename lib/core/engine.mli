@@ -22,10 +22,14 @@
       {!resolve_leaf} calls from any number of threads {e or domains}
       concurrently: the shared mutable caches — rewriting plans, leaf
       citations, and the evaluation index cache — are guarded by an
-      internal mutex, and {!Metrics} is itself thread-safe.  This is
-      correct under systhreads and under domains alike, but the lock
-      serializes the cache-touching hot path, so it adds safety, not
-      parallelism.
+      internal mutex.  This is correct under systhreads and under
+      domains alike, but the lock serializes the cache-touching hot
+      path, so it adds safety, not parallelism.  Each acquisition that
+      finds the lock already held bumps
+      {!Metrics.Key.engine_lock_waits}, making the contention that
+      sharding is supposed to remove directly measurable.  Metric
+      recording itself never takes a shared lock: {!Metrics} keeps
+      per-domain sinks, so counters are not a second contention point.
     - {e shards} — {!replicate} returns a replica sharing the immutable
       data (base database, materialized views, view set, policy) and
       the metrics registry, but owning {e private} caches and a private

@@ -13,6 +13,7 @@ module Key = struct
   let rewriting_verified = "rewriting_verified"
   let rewriting_kept = "rewriting_kept"
   let containment_checks = "containment_checks"
+  let engine_lock_waits = "engine_lock_waits"
   let server_requests = "server_requests"
   let server_errors = "server_errors"
   let server_queue_depth = "server_queue_depth"
@@ -35,6 +36,7 @@ module Key = struct
       rewriting_verified;
       rewriting_kept;
       containment_checks;
+      engine_lock_waits;
       server_requests;
       server_errors;
       server_queue_depth;
@@ -46,122 +48,255 @@ module Key = struct
     ]
 end
 
+let well_known =
+  let h = Hashtbl.create 32 in
+  List.iter (fun k -> Hashtbl.replace h k ()) Key.all;
+  h
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain sinks.
+
+   The hot path ([record] / [incr] / [add_time] on every counter bump
+   of every cite) touches only plain, unsynchronized fields of a sink
+   owned by the recording domain: no mutex, no atomic, no cache-line
+   ping-pong between domains.  A registry aggregates its sinks at read
+   time instead.
+
+   A counter carries two fields because two aggregations coexist under
+   one name: [adds] (from [incr]/[record]) sums across domains, [hw]
+   (from [record_max], a high-water mark) maxes across them; the
+   aggregate is [sum adds + max hw], which reduces to the natural value
+   when a key is used through only one of the two (every key today
+   is). *)
+
+type counter = { mutable adds : int; mutable hw : int }
 type timer = { mutable total_s : float; mutable calls : int }
 
-(* Ordered assoc lists: the registry is tiny and iterated for display
-   far more often than extended with unknown names. *)
-type t = {
-  mutable cs : (string * int ref) list;
-  mutable ts : (string * timer) list;
+type sink = {
+  counters : (string, counter) Hashtbl.t;
+  timers : (string, timer) Hashtbl.t;
 }
 
-(* One process-wide lock serializes registry mutation and the sink
-   stack: the server records from its worker threads, and [with_sink]
-   scopes opened by different threads interleave on the shared [sinks]
-   list.  Everything under the lock is tiny (assoc-list walks, integer
-   bumps), so one coarse mutex is cheaper than it looks. *)
-let mu = Mutex.create ()
+type t = {
+  id : int;  (** unique per registry; hashes the DLS sink table *)
+  mu : Mutex.t;
+      (** guards the sink list and the display-order bookkeeping —
+          registration and read-side aggregation only, never the
+          per-event hot path *)
+  mutable sinks : sink list;
+  mutable dyn_counters : string list;  (** reverse first-use order *)
+  dyn_counter_seen : (string, unit) Hashtbl.t;
+  mutable timer_names : string list;  (** reverse first-use order *)
+  timer_seen : (string, unit) Hashtbl.t;
+}
 
-let locked f = Mutex.protect mu f
+let next_id = Atomic.make 0
 
-let create () = { cs = List.map (fun k -> (k, ref 0)) Key.all; ts = [] }
+let create () =
+  {
+    id = Atomic.fetch_and_add next_id 1;
+    mu = Mutex.create ();
+    sinks = [];
+    dyn_counters = [];
+    dyn_counter_seen = Hashtbl.create 8;
+    timer_names = [];
+    timer_seen = Hashtbl.create 8;
+  }
+
 let default = create ()
 
-let counter_ref t name =
-  match List.assoc_opt name t.cs with
-  | Some r -> r
+(* Each domain maps registry -> its own sink in domain-local storage.
+   The table holds its keys weakly (ephemerons), so a registry — benches
+   create thousands of short-lived engines, each with one — can be
+   collected even though domains that recorded into it outlive it; the
+   registry's own [sinks] list dies with the registry. *)
+module Sink_tbl = Ephemeron.K1.Make (struct
+  type registry = t
+  type t = registry
+
+  let equal = ( == )
+  let hash t = t.id
+end)
+
+let local_sinks : sink Sink_tbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Sink_tbl.create 16)
+
+(* First touch of registry [t] by this domain: the only mutex in the
+   recording path, taken once per (domain, registry) pair ever. *)
+let register_sink t =
+  let s = { counters = Hashtbl.create 24; timers = Hashtbl.create 8 } in
+  Mutex.protect t.mu (fun () -> t.sinks <- s :: t.sinks);
+  Sink_tbl.replace (Domain.DLS.get local_sinks) t s;
+  s
+
+let sink_for t =
+  match Sink_tbl.find_opt (Domain.DLS.get local_sinks) t with
+  | Some s -> s
+  | None -> register_sink t
+
+(* First use of a dynamic name (amortized: once per key per domain)
+   records it in the registry's display order under the lock. *)
+let counter_for t s name =
+  match Hashtbl.find_opt s.counters name with
+  | Some c -> c
   | None ->
-      let r = ref 0 in
-      t.cs <- t.cs @ [ (name, r) ];
-      r
+      let c = { adds = 0; hw = 0 } in
+      Hashtbl.add s.counters name c;
+      if not (Hashtbl.mem well_known name) then
+        Mutex.protect t.mu (fun () ->
+            if not (Hashtbl.mem t.dyn_counter_seen name) then begin
+              Hashtbl.add t.dyn_counter_seen name ();
+              t.dyn_counters <- name :: t.dyn_counters
+            end);
+      c
 
-let incr_unlocked ?(by = 1) t name =
-  let r = counter_ref t name in
-  r := !r + by
-
-let incr ?by t name = locked (fun () -> incr_unlocked ?by t name)
-
-let record_max t name v =
-  locked (fun () ->
-      let r = counter_ref t name in
-      if v > !r then r := v)
-
-let count t name =
-  locked (fun () ->
-      match List.assoc_opt name t.cs with Some r -> !r | None -> 0)
-
-let counters t = locked (fun () -> List.map (fun (k, r) -> (k, !r)) t.cs)
-
-let timer_ref t name =
-  match List.assoc_opt name t.ts with
+let timer_for t s name =
+  match Hashtbl.find_opt s.timers name with
   | Some tm -> tm
   | None ->
       let tm = { total_s = 0.; calls = 0 } in
-      t.ts <- t.ts @ [ (name, tm) ];
+      Hashtbl.add s.timers name tm;
+      Mutex.protect t.mu (fun () ->
+          if not (Hashtbl.mem t.timer_seen name) then begin
+            Hashtbl.add t.timer_seen name ();
+            t.timer_names <- name :: t.timer_names
+          end);
       tm
 
-let add_time_unlocked t name s =
-  let tm = timer_ref t name in
+let incr ?(by = 1) t name =
+  let c = counter_for t (sink_for t) name in
+  c.adds <- c.adds + by
+
+let record_max t name v =
+  let c = counter_for t (sink_for t) name in
+  if v > c.hw then c.hw <- v
+
+let add_time t name s =
+  let tm = timer_for t (sink_for t) name in
   tm.total_s <- tm.total_s +. s;
   tm.calls <- tm.calls + 1
 
-let add_time t name s = locked (fun () -> add_time_unlocked t name s)
+(* ------------------------------------------------------------------ *)
+(* Read-time aggregation.  Reading another domain's plain fields while
+   it records is a data race by the letter of the memory model; in
+   practice it only yields a slightly stale (never torn, never
+   decreasing) value, which is exactly what a monitoring read wants.
+   Joining a domain before reading (the benches and tests do) makes the
+   read exact. *)
+
+let agg_counter sinks name =
+  List.fold_left
+    (fun (sum, hw) s ->
+      match Hashtbl.find_opt s.counters name with
+      | None -> (sum, hw)
+      | Some c -> (sum + c.adds, max hw c.hw))
+    (0, 0) sinks
+  |> fun (sum, hw) -> sum + hw
+
+let agg_timer sinks name =
+  List.fold_left
+    (fun (total, calls) s ->
+      match Hashtbl.find_opt s.timers name with
+      | None -> (total, calls)
+      | Some tm -> (total +. tm.total_s, calls + tm.calls))
+    (0., 0) sinks
+
+let snapshot t =
+  Mutex.protect t.mu (fun () ->
+      (t.sinks, List.rev t.dyn_counters, List.rev t.timer_names))
+
+let count t name =
+  let sinks, _, _ = snapshot t in
+  agg_counter sinks name
+
+let counters t =
+  let sinks, dyn, _ = snapshot t in
+  List.map (fun k -> (k, agg_counter sinks k)) (Key.all @ dyn)
 
 let timer t name =
-  locked (fun () ->
-      match List.assoc_opt name t.ts with
-      | Some tm -> (tm.total_s, tm.calls)
-      | None -> (0., 0))
+  let sinks, _, _ = snapshot t in
+  agg_timer sinks name
 
 let timers t =
-  locked (fun () -> List.map (fun (k, tm) -> (k, (tm.total_s, tm.calls))) t.ts)
+  let sinks, _, names = snapshot t in
+  List.map (fun k -> (k, agg_timer sinks k)) names
 
+let sink_count t = Mutex.protect t.mu (fun () -> List.length t.sinks)
+
+let per_sink t name =
+  let sinks, _, _ = snapshot t in
+  List.filter_map
+    (fun s ->
+      Option.map (fun c -> c.adds + c.hw) (Hashtbl.find_opt s.counters name))
+    sinks
+
+(* Zeroing other domains' sinks is only meaningful while they are not
+   recording; callers (tests, the REPL between runs) reset at
+   quiescence. *)
 let reset t =
-  locked (fun () ->
-      List.iter (fun (_, r) -> r := 0) t.cs;
-      List.iter
-        (fun (_, tm) ->
+  let sinks, _, _ = snapshot t in
+  List.iter
+    (fun s ->
+      Hashtbl.iter
+        (fun _ c ->
+          c.adds <- 0;
+          c.hw <- 0)
+        s.counters;
+      Hashtbl.iter
+        (fun _ tm ->
           tm.total_s <- 0.;
           tm.calls <- 0)
-        t.ts)
+        s.timers)
+    sinks
 
-(* Dynamically scoped extra sinks; [targets] dedups by physical
-   equality so nested [with_sink] on the same registry (engine calls
-   re-entering engine calls) never double-counts.  The stack is shared
-   by every thread, so a scope exits by removing {e its own} frame (the
-   first physically-equal one), not the head — concurrent scopes pop in
-   any order. *)
-let sinks : t list ref = ref []
+(* ------------------------------------------------------------------ *)
+(* Dynamically scoped extra sinks — a stack per domain, so scopes never
+   cross domains implicitly and worker domains never touch a shared
+   list.  Crossing on purpose is [Domain_pool.capture_context]'s job
+   (installed below): a fan-out re-installs the submitting domain's
+   stack around each task. *)
 
-let targets_unlocked () =
+let scope_stack : t list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+(* [targets] dedups by physical equality so nested [with_sink] on the
+   same registry (engine calls re-entering engine calls) never
+   double-counts. *)
+let targets stack =
   List.fold_left
     (fun acc m -> if List.memq m acc then acc else m :: acc)
-    [ default ] !sinks
+    [ default ] stack
 
 let with_sink m f =
-  locked (fun () -> sinks := m :: !sinks);
+  let st = Domain.DLS.get scope_stack in
+  st := m :: !st;
   Fun.protect
     ~finally:(fun () ->
-      locked (fun () ->
-          let rec drop = function
-            | [] -> []
-            | x :: rest -> if x == m then rest else x :: drop rest
-          in
-          sinks := drop !sinks))
+      (* remove {e this} scope's frame — the first physically-equal
+         one — wherever unwinding finds it *)
+      let rec drop = function
+        | [] -> []
+        | x :: rest -> if x == m then rest else x :: drop rest
+      in
+      st := drop !st)
     f
 
 let record ?by name =
-  locked (fun () ->
-      List.iter (fun m -> incr_unlocked ?by m name) (targets_unlocked ()))
+  List.iter
+    (fun m -> incr ?by m name)
+    (targets !(Domain.DLS.get scope_stack))
 
 let record_time name f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Dc_clock.Monotonic.now_s () in
   Fun.protect
     ~finally:(fun () ->
-      let dt = Unix.gettimeofday () -. t0 in
-      locked (fun () ->
-          List.iter (fun m -> add_time_unlocked m name dt) (targets_unlocked ())))
+      let dt = Dc_clock.Monotonic.now_s () -. t0 in
+      List.iter
+        (fun m -> add_time m name dt)
+        (targets !(Domain.DLS.get scope_stack)))
     f
+
+(* ------------------------------------------------------------------ *)
 
 let pp ppf t =
   List.iter (fun (k, v) -> Format.fprintf ppf "%-22s = %d@." k v) (counters t);
@@ -191,8 +326,12 @@ let to_json t =
   Buffer.add_string buf "}}";
   Buffer.contents buf
 
-(* Route the lower layers' instrumentation hooks into the registries.
-   Runs once when dc_citation is linked. *)
+(* Route the lower layers' instrumentation hooks into the registries,
+   and teach Domain_pool fan-outs to carry the submitting domain's sink
+   scopes onto worker domains (each worker still records into its own
+   per-domain sink of the scoped registries — propagation shares the
+   {e scope}, not the storage).  Runs once when dc_citation is
+   linked. *)
 let () =
   Cq.Eval.on_event :=
     (function
@@ -204,4 +343,16 @@ let () =
     (function
      | Rw.Rewrite.Candidate -> record Key.rewriting_candidates
      | Rw.Rewrite.Verified -> record Key.rewriting_verified
-     | Rw.Rewrite.Kept -> record Key.rewriting_kept)
+     | Rw.Rewrite.Kept -> record Key.rewriting_kept);
+  let previous = !Dc_parallel.Domain_pool.capture_context in
+  Dc_parallel.Domain_pool.capture_context :=
+    fun () ->
+      let stack = !(Domain.DLS.get scope_stack) in
+      let wrap_prev = previous () in
+      fun task ->
+        let task = wrap_prev task in
+        fun () ->
+          let st = Domain.DLS.get scope_stack in
+          let saved = !st in
+          st := stack;
+          Fun.protect ~finally:(fun () -> st := saved) task

@@ -1,4 +1,4 @@
-(** Engine observability: monotonic counters and wall-clock timers.
+(** Engine observability: monotonic counters and timers.
 
     A registry ({!t}) holds named counters and timers.  The process-wide
     {!default} registry aggregates everything; each {!Engine.t} also
@@ -10,21 +10,38 @@
     [default] plus every registry pushed with {!with_sink}.
 
     Counters are monotonic: nothing but {!reset} ever decreases one.
+    Timers use the monotonic clock ({!Dc_clock.Monotonic}), so recorded
+    durations are immune to wall-clock steps.
 
-    {b Thread safety.}  Every operation in this module is safe to call
-    from any thread: registry mutation and the (process-global) sink
-    stack are serialized by one internal mutex.  {!with_sink} scopes
-    opened by different threads overlap on the shared stack — while a
-    scope is open, events recorded by {e any} thread reach its registry.
-    The server routes all requests through one engine (one registry), so
-    this sharing is exactly the aggregation it wants; processes juggling
-    several engines concurrently should read per-engine counters as
-    upper bounds. *)
+    {b Concurrency: per-domain sinks, no shared lock on the record
+    path.}  Internally a registry is a set of {e sinks}, one per domain
+    that has recorded into it.  {!record}, {!incr}, {!add_time},
+    {!record_max} and {!record_time} mutate plain unsynchronized fields
+    of the calling domain's own sink: domains hammering the same
+    registry never serialize and never share a cache line.  The only
+    lock is taken at registration — the first time a given domain
+    touches a given registry or dynamic name — and by the read side.
+    Read-side aggregation ({!count}, {!counters}, {!timer}, {!timers},
+    {!pp}, {!to_json}) sums the sinks at call time; concurrent with
+    writers it may observe slightly stale per-domain values (never torn,
+    never decreasing), and is exact once the writing domains have been
+    joined.  {!reset} zeroes every sink and assumes quiescence.
+
+    {b [with_sink] is domain-local.}  The dynamically scoped sink stack
+    is per domain: a scope opened on one domain is invisible to events
+    recorded by another, so worker domains never touch a shared scope
+    list.  The one {e deliberate} crossing is pool fan-out:
+    {!Dc_parallel.Domain_pool.run_all} (hence [parallel_map] and the
+    engine's parallel rewriting) re-installs the submitting domain's
+    scopes around every task, so work farmed out under [with_sink m]
+    still lands in [m] — each worker through its own per-domain sink of
+    [m].  Raw [Domain.spawn] does not propagate scopes. *)
 
 type t
 
 val create : unit -> t
-(** A fresh registry with every well-known counter present at 0. *)
+(** A fresh registry.  Every well-known counter reads 0 until first
+    recorded. *)
 
 val default : t
 (** The process-wide registry.  Every recorded event lands here. *)
@@ -42,6 +59,11 @@ module Key : sig
   val rewriting_verified : string
   val rewriting_kept : string
   val containment_checks : string
+
+  val engine_lock_waits : string
+  (** Times an engine's cache lock was found already held and had to be
+      waited for — the direct measure of hot-path contention.  Stays 0
+      when each domain works its own shard. *)
 
   val server_requests : string
   (** Request lines received by the citation server (all commands,
@@ -78,40 +100,59 @@ module Key : sig
 end
 
 val incr : ?by:int -> t -> string -> unit
+(** Bump a counter in the calling domain's sink — no lock, no shared
+    write. *)
 
 val record_max : t -> string -> int -> unit
-(** Raise a counter to [v] if it is currently below it (atomically), a
-    monotonic high-water mark.  Used for gauge-like observations such as
-    queue depth. *)
+(** Raise a counter to [v] if it is currently below it, a monotonic
+    high-water mark.  Per-domain marks aggregate by [max] (while
+    {!incr} contributions aggregate by sum); do not mix both on one
+    key. *)
 
 val count : t -> string -> int
-(** [0] for a counter never incremented. *)
+(** Aggregate over all sinks; [0] for a counter never incremented. *)
 
 val counters : t -> (string * int) list
-(** All counters in display order (well-known first). *)
+(** All counters in display order: the well-known keys first (always
+    present), then dynamic names in first-use order. *)
 
 val add_time : t -> string -> float -> unit
 (** Accumulate [seconds] under a timer name and bump its call count. *)
 
 val timer : t -> string -> float * int
-(** [(total_seconds, calls)]; [(0., 0)] for an unknown timer. *)
+(** [(total_seconds, calls)] aggregated over all sinks; [(0., 0)] for
+    an unknown timer. *)
 
 val timers : t -> (string * (float * int)) list
 
+val sink_count : t -> int
+(** How many per-domain sinks the registry has accumulated — the number
+    of distinct domains that ever recorded into it. *)
+
+val per_sink : t -> string -> int list
+(** The counter's per-domain values (unordered, one per sink): the
+    breakdown behind {!count}.  Benchmarks use it to attribute
+    contention (e.g. {!Key.engine_lock_waits}) to domains. *)
+
 val reset : t -> unit
-(** Zero every counter and timer (the only non-monotonic operation). *)
+(** Zero every counter and timer in every sink (the only non-monotonic
+    operation).  Call at quiescence: concurrent writers may race
+    individual zeroes. *)
 
 val with_sink : t -> (unit -> 'a) -> 'a
-(** Route events recorded during the callback into [t] as well as
-    {!default}.  Nests; re-pushing a registry already in scope does not
-    double-count. *)
+(** Route events recorded during the callback {e on this domain} into
+    [t] as well as {!default}.  Nests; re-pushing a registry already in
+    scope does not double-count.  Pool fan-outs inside the callback
+    carry the scope to their worker domains (see the module note); raw
+    [Domain.spawn] does not. *)
 
 val record : ?by:int -> string -> unit
-(** Increment a counter on {!default} and every active sink. *)
+(** Increment a counter on {!default} and every sink in scope on this
+    domain. *)
 
 val record_time : string -> (unit -> 'a) -> 'a
-(** Time the callback (wall clock) and charge it to {!default} and
-    every active sink, even when it raises. *)
+(** Time the callback (monotonic clock) and charge it to {!default} and
+    every sink in scope on this domain, even when it raises. *)
 
 val pp : Format.formatter -> t -> unit
 (** Human-readable dump: one [name = value] line per counter, then one

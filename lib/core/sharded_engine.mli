@@ -12,11 +12,15 @@
     misses, so a workload of [Q] distinct query shapes enumerates
     rewritings up to [N × Q] times in the worst case (round-robin) and
     exactly [Q] times when the workload is partitioned ({!cite_batch}
-    partitions). *)
+    partitions).  Because replicas beyond the physical core count only
+    add cold caches without adding parallelism, the shard count is
+    clamped to {!Dc_parallel.Domain_pool.available_cores} by default —
+    on a 1-core host a "4-shard" engine degrades to a single shard. *)
 
 type t
 
 val create :
+  ?clamp:bool ->
   ?policy:Policy.t ->
   ?selection:Engine.selection ->
   ?partial:bool ->
@@ -29,8 +33,9 @@ val create :
 (** [Engine.create] once (views are materialized once), then
     {!of_engine}.  Raises [Invalid_argument] when [shards < 1]. *)
 
-val of_engine : shards:int -> Engine.t -> t
-(** Wrap an existing engine as shard 0 and add [shards - 1] replicas.
+val of_engine : ?clamp:bool -> shards:int -> Engine.t -> t
+(** Wrap an existing engine as shard 0 and add [shards - 1] replicas
+    ([shards] first clamped to the core count unless [clamp:false]).
     The given engine keeps working as before — its caches become shard
     0's. *)
 
@@ -45,7 +50,13 @@ val shard : t -> int -> Engine.t
 
 val pick : t -> Engine.t
 (** Round-robin over an atomic counter — safe from any thread or
-    domain. *)
+    domain, including across counter overflow (the index is reduced to
+    the canonical non-negative residue, so a counter that wraps past
+    [max_int] keeps dispatching in range). *)
+
+val seed_round_robin : t -> int -> unit
+(** Set the round-robin counter (tests seed it near [max_int] to
+    exercise overflow; not needed in normal operation). *)
 
 val cite : t -> Dc_cq.Query.t -> Engine.result
 (** [Engine.cite (pick t)]. *)

@@ -12,6 +12,23 @@ let log_src = Logs.Src.create "datacite.parallel" ~doc:"Domain pool"
 
 module Log = (val Logs.src_log log_src)
 
+(* Read once at startup: the answer cannot change while we run, and a
+   plain let avoids [Lazy]'s domain-unsafety. *)
+let cores = max 1 (Domain.recommended_domain_count ())
+let available_cores () = cores
+
+let effective ~requested =
+  if requested < 1 then invalid_arg "Domain_pool.effective: requested < 1";
+  min requested cores
+
+(* Dynamic-context propagation: [!capture_context ()] runs on the
+   domain submitting a fan-out and returns a wrapper applied to every
+   task, so dynamically scoped state (the {!Dc_citation.Metrics} sink
+   stack) survives the hop onto a worker domain.  Identity by default;
+   Dc_citation installs the metrics capture when linked. *)
+let capture_context : (unit -> (unit -> unit) -> unit -> unit) ref =
+  ref (fun () task -> task)
+
 type t = {
   mu : Mutex.t;
   nonempty : Condition.t;
@@ -41,8 +58,14 @@ let worker t =
   in
   next ()
 
-let create ~domains =
+let create ?(clamp = true) ~domains () =
   if domains < 1 then invalid_arg "Domain_pool.create: domains < 1";
+  (* On hardware with fewer cores than requested domains, extra domains
+     only add minor-GC barriers: clamp to the core count so a pool
+     "of 8" on a 1-core box degrades to sequential execution in the
+     caller.  [clamp:false] forces the requested width (tests that
+     exercise the cross-domain machinery itself). *)
+  let domains = if clamp then effective ~requested:domains else domains in
   let t =
     {
       mu = Mutex.create ();
@@ -70,17 +93,21 @@ let shutdown t =
   Mutex.unlock t.mu;
   if not already then List.iter Domain.join workers
 
-let with_pool ~domains f =
-  let t = create ~domains in
+let with_pool ?clamp ~domains f =
+  let t = create ?clamp ~domains () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
-let chunk ~chunks xs =
+let chunk ?(min_chunk = 1) ~chunks xs =
   if chunks < 1 then invalid_arg "Domain_pool.chunk: chunks < 1";
+  if min_chunk < 1 then invalid_arg "Domain_pool.chunk: min_chunk < 1";
   let arr = Array.of_list xs in
   let n = Array.length arr in
   if n = 0 then []
   else
-    let k = min chunks n in
+    (* cap the chunk count so every chunk carries at least [min_chunk]
+       items — a fan-out whose per-task work does not cover the queue
+       hand-off should raise [min_chunk] rather than eat the cost *)
+    let k = min (min chunks n) (max 1 (n / min_chunk)) in
     (* contiguous chunks whose sizes differ by at most one *)
     List.init k (fun i ->
         let lo = i * n / k and hi = (i + 1) * n / k in
@@ -97,18 +124,22 @@ let run_all t thunks =
     let pending = ref n in
     let mu = Mutex.create () in
     let all_done = Condition.create () in
-    let task i () =
-      let r =
-        try Ok (thunks.(i) ())
-        with ex -> Error (ex, Printexc.get_raw_backtrace ())
-      in
-      Mutex.lock mu;
-      (match r with
-      | Ok v -> results.(i) <- Some v
-      | Error e -> if !error = None then error := Some e);
-      decr pending;
-      if !pending = 0 then Condition.signal all_done;
-      Mutex.unlock mu
+    (* capture the caller's dynamic context once; every task (queued or
+       run here) executes under it *)
+    let in_context = !capture_context () in
+    let task i =
+      in_context (fun () ->
+          let r =
+            try Ok (thunks.(i) ())
+            with ex -> Error (ex, Printexc.get_raw_backtrace ())
+          in
+          Mutex.lock mu;
+          (match r with
+          | Ok v -> results.(i) <- Some v
+          | Error e -> if !error = None then error := Some e);
+          decr pending;
+          if !pending = 0 then Condition.signal all_done;
+          Mutex.unlock mu)
     in
     (* offload every chunk but the first; run that one here *)
     Mutex.lock t.mu;
@@ -141,14 +172,14 @@ let run_all t thunks =
     | None -> Array.to_list (Array.map Option.get results)
   end
 
-let parallel_map t f xs =
-  match chunk ~chunks:t.size xs with
+let parallel_map ?min_chunk t f xs =
+  match chunk ?min_chunk ~chunks:t.size xs with
   | [] -> []
   | [ only ] -> List.map f only
   | chunks -> List.concat (run_all t (List.map (fun c () -> List.map f c) chunks))
 
-let parallel_fold t ~fold ~init ~merge xs =
-  match chunk ~chunks:t.size xs with
+let parallel_fold ?min_chunk t ~fold ~init ~merge xs =
+  match chunk ?min_chunk ~chunks:t.size xs with
   | [] -> init
   | [ only ] -> List.fold_left fold init only
   | chunks ->

@@ -116,8 +116,8 @@ let pred_key q =
   String.concat ","
     (List.sort String.compare (List.map Cq.Atom.pred (Cq.Query.body q)))
 
-let rewritings ?(strategy = Minicon) ?(partial = false)
-    ?(max_candidates = 100_000) ?pool views query =
+let search_impl ?(strategy = Minicon) ?(partial = false)
+    ?(max_candidates = 100_000) ?pool ?(min_parallel = 16) views query =
   let query = Cq.Query.strip_params query in
   let candidates = ref 0 in
   let truncated = ref false in
@@ -151,9 +151,14 @@ let rewritings ?(strategy = Minicon) ?(partial = false)
         else None
   in
   let verdicts =
+    (* Fan out only when the candidate set can amortize the hand-off:
+       a small search (the common case after the plan cache warms) is
+       cheaper verified in place than queued across domains. *)
     match pool with
-    | Some pool when Dc_parallel.Domain_pool.size pool > 1 ->
-        Dc_parallel.Domain_pool.parallel_map pool verify collected
+    | Some pool
+      when Dc_parallel.Domain_pool.size pool > 1
+           && List.length collected >= min_parallel ->
+        Dc_parallel.Domain_pool.parallel_map ~min_chunk:8 pool verify collected
     | _ -> List.map verify collected
   in
   (* Phase 3 — deduplication, sequential and in enumeration order, so
@@ -197,9 +202,13 @@ let rewritings ?(strategy = Minicon) ?(partial = false)
       truncated = !truncated;
     } )
 
-let search ?strategy ?partial ?max_candidates ?pool views query =
+let rewritings ?strategy ?partial ?max_candidates ?pool views query =
+  search_impl ?strategy ?partial ?max_candidates ?pool views query
+
+let search ?strategy ?partial ?max_candidates ?pool ?min_parallel views query =
   let queries, stats =
-    rewritings ?strategy ?partial ?max_candidates ?pool views query
+    search_impl ?strategy ?partial ?max_candidates ?pool ?min_parallel views
+      query
   in
   { queries; stats }
 

@@ -45,11 +45,18 @@ val search :
   ?partial:bool ->
   ?max_candidates:int ->
   ?pool:Dc_parallel.Domain_pool.t ->
+  ?min_parallel:int ->
   View.Set.t ->
   Dc_cq.Query.t ->
   outcome
 (** Exactly {!rewritings}, returned as a labeled {!outcome} record
-    instead of a positional pair.  New call sites should use this. *)
+    instead of a positional pair.  New call sites should use this.
+
+    [min_parallel] (default [16]) gates the fan-out: with fewer
+    collected candidates than that, verification runs in the caller
+    even when a multi-domain [pool] is given — a tiny search cannot
+    amortize the task hand-off, and after the engine's plan cache warms
+    tiny searches are the common case. *)
 
 val rewritings :
   ?strategy:strategy ->

@@ -50,9 +50,9 @@ module Load = struct
       let conn = connect ?host ~port () in
       for i = 0 to requests_per_client - 1 do
         let line = reqs.((i + (k * 7)) mod Array.length reqs) in
-        let t0 = Unix.gettimeofday () in
+        let t0 = Dc_clock.Monotonic.now_s () in
         let reply = request conn line in
-        latencies.(k).(i) <- (Unix.gettimeofday () -. t0) *. 1000.;
+        latencies.(k).(i) <- Dc_clock.Monotonic.elapsed_ms t0;
         match Option.map Protocol.classify_response reply with
         | Some (`Ok _) -> ()
         | Some (`Err _) | Some `Malformed | None ->
@@ -61,10 +61,10 @@ module Load = struct
       ignore (request conn "QUIT");
       close conn
     in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Dc_clock.Monotonic.now_s () in
     let threads = List.init clients (fun k -> Thread.create (worker k) ()) in
     List.iter Thread.join threads;
-    let elapsed_s = Unix.gettimeofday () -. t0 in
+    let elapsed_s = Dc_clock.Monotonic.now_s () -. t0 in
     let all = Array.concat (Array.to_list latencies) in
     Array.sort compare all;
     let total = clients * requests_per_client in

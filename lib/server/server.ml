@@ -51,6 +51,10 @@ type t = {
   mutable conns : Unix.file_descr list;
   mutable conn_threads : Thread.t list;
   mutable accept_thread : Thread.t option;
+  (* [config.domains] after clamping to the host's core count: the
+     shard width actually built, kept so [refresh_shards] rebuilds the
+     same width. *)
+  domains_eff : int;
   started_at : float;
   stop_requested : bool Atomic.t;
 }
@@ -76,7 +80,9 @@ let ivar_fill iv v =
   Mutex.unlock iv.imu
 
 let ivar_await iv ~timeout_s =
-  let deadline = Unix.gettimeofday () +. timeout_s in
+  (* Monotonic, not wall clock: an NTP step must not expire (or extend)
+     request deadlines. *)
+  let deadline = Dc_clock.Monotonic.now_s () +. timeout_s in
   let rec go () =
     Mutex.lock iv.imu;
     let v = iv.cell in
@@ -84,7 +90,7 @@ let ivar_await iv ~timeout_s =
     match v with
     | Some _ -> v
     | None ->
-        if Unix.gettimeofday () >= deadline then None
+        if Dc_clock.Monotonic.now_s () >= deadline then None
         else begin
           Thread.delay 0.002;
           go ()
@@ -114,7 +120,7 @@ let refresh_shards t =
   | Error _ -> () (* head vanished: impossible through the public API *)
   | Ok head_eng ->
       Atomic.set t.shards
-        (C.Sharded_engine.of_engine ~shards:t.config.domains head_eng)
+        (C.Sharded_engine.of_engine ~shards:t.domains_eff head_eng)
 
 (* [eng] is the shard this request was dispatched to; HEALTH and STATS
    read through the primary (replicas share data and metrics anyway).
@@ -122,8 +128,8 @@ let refresh_shards t =
 let execute t eng (req : Protocol.request) =
   let m = C.Engine.metrics eng in
   C.Metrics.with_sink m @@ fun () ->
-  let t0 = Unix.gettimeofday () in
-  let ms () = (Unix.gettimeofday () -. t0) *. 1000. in
+  let t0 = Dc_clock.Monotonic.now_s () in
+  let ms () = Dc_clock.Monotonic.elapsed_ms t0 in
   match req with
   | Protocol.Quit -> Protocol.ok_bye
   | Protocol.Stats ->
@@ -133,7 +139,7 @@ let execute t eng (req : Protocol.request) =
       let db = C.Engine.database (engine t) in
       Protocol.ok_health
         ~version:(C.Versioned_engine.head t.versioned)
-        ~uptime_s:(Unix.gettimeofday () -. t.started_at)
+        ~uptime_s:(Dc_clock.Monotonic.now_s () -. t.started_at)
         ~views:(C.Citation_view.Set.size (C.Engine.citation_views (engine t)))
         ~relations:(List.length (R.Database.relation_names db))
         ~tuples:(R.Database.total_tuples db)
@@ -392,12 +398,18 @@ let start ?(config = default_config) eng =
   (* domains = 1: the PR-2 architecture — systhread workers interleaving
      on one engine.  domains = N: one engine replica per domain-backed
      worker, so requests on different workers run truly in parallel and
-     never contend on a shard lock. *)
-  let parallel = config.domains > 1 in
+     never contend on a shard lock.  [domains] is first clamped to the
+     host's core count: domains the hardware cannot run in parallel buy
+     no throughput and still pay replica caches and GC barriers, so a
+     [--domains 8] server on a 1-core box honestly degrades to the
+     sequential architecture. *)
+  let domains_eff =
+    Dc_parallel.Domain_pool.effective ~requested:config.domains
+  in
+  let parallel = domains_eff > 1 in
   let t =
     {
-      shards =
-        Atomic.make (C.Sharded_engine.of_engine ~shards:config.domains eng);
+      shards = Atomic.make (C.Sharded_engine.of_engine ~shards:domains_eff eng);
       versioned =
         C.Versioned_engine.of_engine ~capacity:config.version_cache eng;
       config;
@@ -405,21 +417,26 @@ let start ?(config = default_config) eng =
       bound_port;
       pool =
         Worker_pool.create ~domains:parallel
-          ~workers:(if parallel then config.domains else config.workers)
+          ~workers:(if parallel then domains_eff else config.workers)
           ~queue_capacity:config.queue_capacity ();
       mu = Mutex.create ();
       state = Serving;
       conns = [];
       conn_threads = [];
       accept_thread = None;
-      started_at = Unix.gettimeofday ();
+      domains_eff;
+      started_at = Dc_clock.Monotonic.now_s ();
       stop_requested = Atomic.make false;
     }
   in
   t.accept_thread <- Some (Thread.create accept_loop t);
+  if domains_eff < config.domains then
+    Log.info (fun m ->
+        m "only %d core(s) available: %d domain(s) requested, running %d"
+          (Dc_parallel.Domain_pool.available_cores ())
+          config.domains domains_eff);
   Log.info (fun m ->
-      m "listening on %s:%d (%d domain(s))" config.host bound_port
-        config.domains);
+      m "listening on %s:%d (%d domain(s))" config.host bound_port domains_eff);
   t
 
 let stopped t =

@@ -54,7 +54,11 @@ type config = {
   domains : int;
       (** [1] = systhread workers over one shared engine; [N > 1] = [N]
           domain-backed workers over [N] engine shards ([workers] is
-          then ignored — parallelism is the worker count) *)
+          then ignored — parallelism is the worker count).  [N] is
+          clamped to {!Dc_parallel.Domain_pool.available_cores} at
+          {!start}: on a host with fewer cores the server runs the
+          widest width the hardware can actually parallelize, down to
+          the sequential systhread architecture on one core. *)
   version_cache : int;
       (** LRU bound on materialized per-version engines for [CITE_AT]
           (the head engine is never evicted); minimum 1 *)

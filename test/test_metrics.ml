@@ -160,6 +160,131 @@ let test_eval_cache_counters () =
   Alcotest.(check bool) "warm indexes reused" true
     (count e M.Key.eval_cache_hits > 0)
 
+(* ------------------------------------------------------------------ *)
+(* Per-domain sinks: aggregation across domains equals the sequential
+   oracle, with_sink scoping, and reset.                               *)
+
+module P = Dc_parallel.Domain_pool
+
+let test_multi_domain_aggregation () =
+  (* K domains each bump the same counters n times into one registry;
+     after joining, the aggregate must equal the sequential total
+     exactly — per-domain sinks lose nothing. *)
+  let m = M.create () in
+  let k = 4 and n = 10_000 in
+  let worker () =
+    for i = 1 to n do
+      M.incr m "hits";
+      if i mod 2 = 0 then M.incr ~by:3 m "weighted";
+      M.add_time m "work" 0.001
+    done
+  in
+  let spawned = List.init (k - 1) (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join spawned;
+  Alcotest.(check int) "hits = k * n" (k * n) (M.count m "hits");
+  Alcotest.(check int) "weighted = k * (n/2) * 3"
+    (k * (n / 2) * 3)
+    (M.count m "weighted");
+  let total_s, calls = M.timer m "work" in
+  Alcotest.(check int) "timer calls aggregate" (k * n) calls;
+  Alcotest.(check bool) "timer total aggregates" true
+    (Float.abs (total_s -. (0.001 *. float_of_int (k * n))) < 1e-6);
+  Alcotest.(check bool)
+    (Printf.sprintf "one sink per recording domain (got %d)" (M.sink_count m))
+    true
+    (M.sink_count m >= 1 && M.sink_count m <= k);
+  Alcotest.(check int) "per-sink values sum to the aggregate" (k * n)
+    (List.fold_left ( + ) 0 (M.per_sink m "hits"))
+
+let test_record_max_across_domains () =
+  let m = M.create () in
+  let depths = [ 3; 17; 5; 9 ] in
+  let spawned =
+    List.map (fun d -> Domain.spawn (fun () -> M.record_max m "depth" d)) depths
+  in
+  List.iter Domain.join spawned;
+  (* high-water marks aggregate by max, not by sum *)
+  Alcotest.(check int) "max across domains" 17 (M.count m "depth");
+  M.record_max m "depth" 4;
+  Alcotest.(check int) "lower mark does not raise it" 17 (M.count m "depth")
+
+let test_with_sink_nesting_and_dedup () =
+  let a = M.create () and b = M.create () in
+  M.with_sink a (fun () ->
+      M.record "ev";
+      M.with_sink b (fun () ->
+          M.record "ev";
+          (* re-pushing a registry already in scope must not double-count *)
+          M.with_sink a (fun () -> M.record "ev")));
+  Alcotest.(check int) "outer sink saw all three" 3 (M.count a "ev");
+  Alcotest.(check int) "inner sink saw two" 2 (M.count b "ev")
+
+let test_with_sink_is_domain_local () =
+  (* a scope opened here must not leak into a raw spawned domain *)
+  let m = M.create () in
+  M.with_sink m (fun () ->
+      let d = Domain.spawn (fun () -> M.record "leak") in
+      Domain.join d);
+  Alcotest.(check int) "raw Domain.spawn does not inherit scopes" 0
+    (M.count m "leak")
+
+let test_with_sink_propagates_through_pool () =
+  (* ...but pool fan-outs deliberately carry the submitting domain's
+     scopes onto the workers *)
+  let m = M.create () in
+  let total =
+    P.with_pool ~clamp:false ~domains:4 (fun pool ->
+        M.with_sink m (fun () ->
+            P.parallel_map ~min_chunk:1 pool
+              (fun x ->
+                M.record "pooled";
+                x)
+              (List.init 64 Fun.id)))
+    |> List.length
+  in
+  Alcotest.(check int) "all tasks ran" 64 total;
+  Alcotest.(check int) "every pooled event reached the sink" 64
+    (M.count m "pooled");
+  (* outside the scope, pool work no longer lands in m *)
+  P.with_pool ~clamp:false ~domains:2 (fun pool ->
+      ignore
+        (P.parallel_map ~min_chunk:1 pool
+           (fun x ->
+             M.record "pooled";
+             x)
+           (List.init 8 Fun.id)));
+  Alcotest.(check int) "no scope, no events" 64 (M.count m "pooled")
+
+let test_reset_clears_every_sink () =
+  let m = M.create () in
+  let worker () = for _ = 1 to 100 do M.incr m "r" done in
+  let spawned = List.init 3 (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join spawned;
+  Alcotest.(check int) "before reset" 400 (M.count m "r");
+  M.reset m;
+  Alcotest.(check int) "after reset" 0 (M.count m "r");
+  let _, calls = M.timer m "work" in
+  Alcotest.(check int) "timers cleared too" 0 calls;
+  M.incr m "r";
+  Alcotest.(check int) "still usable after reset" 1 (M.count m "r")
+
+let test_monotonic_clock () =
+  let t0 = Dc_clock.Monotonic.now_s () in
+  let n0 = Dc_clock.Monotonic.now_ns () in
+  (* burn a little time without sleeping *)
+  let acc = ref 0 in
+  for i = 1 to 1_000_000 do acc := !acc + i done;
+  ignore (Sys.opaque_identity !acc);
+  let t1 = Dc_clock.Monotonic.now_s () in
+  let n1 = Dc_clock.Monotonic.now_ns () in
+  Alcotest.(check bool) "seconds never go backwards" true (t1 >= t0);
+  Alcotest.(check bool) "nanoseconds never go backwards" true
+    (Int64.compare n1 n0 >= 0);
+  Alcotest.(check bool) "elapsed_ms non-negative" true
+    (Dc_clock.Monotonic.elapsed_ms t0 >= 0.)
+
 let suite =
   [
     Alcotest.test_case "plan cache: equivalent forms hit" `Quick
@@ -175,4 +300,17 @@ let suite =
     Alcotest.test_case "leaf key canonicalizes param order" `Quick
       test_leaf_key_param_order;
     Alcotest.test_case "eval cache counters" `Quick test_eval_cache_counters;
+    Alcotest.test_case "sinks: multi-domain aggregation oracle" `Quick
+      test_multi_domain_aggregation;
+    Alcotest.test_case "sinks: record_max across domains" `Quick
+      test_record_max_across_domains;
+    Alcotest.test_case "with_sink: nesting and dedup" `Quick
+      test_with_sink_nesting_and_dedup;
+    Alcotest.test_case "with_sink: domain-local" `Quick
+      test_with_sink_is_domain_local;
+    Alcotest.test_case "with_sink: propagates through pool" `Quick
+      test_with_sink_propagates_through_pool;
+    Alcotest.test_case "reset clears every sink" `Quick
+      test_reset_clears_every_sink;
+    Alcotest.test_case "monotonic clock sanity" `Quick test_monotonic_clock;
   ]

@@ -37,7 +37,11 @@ let test_chunk_props =
       | s, _ ->
           List.fold_left max 0 s - List.fold_left min max_int s <= 1)
 
-let with_test_pool f = P.with_pool ~domains f
+(* [clamp:false]: these tests exercise the cross-domain machinery
+   itself, so they must keep the requested width even on a host with
+   fewer cores (where a clamped pool would degrade to sequential and
+   test nothing). *)
+let with_test_pool f = P.with_pool ~clamp:false ~domains f
 
 let test_parallel_map_matches_map =
   qtest ~count:100 "parallel_map = List.map"
@@ -83,8 +87,38 @@ let test_exception_propagates () =
     "pool still works" [ 2; 4; 6 ]
     (P.parallel_map pool (fun x -> 2 * x) [ 1; 2; 3 ])
 
+let test_chunk_min_chunk =
+  qtest ~count:200 "chunk: min_chunk caps the chunk count"
+    QCheck.(triple (list small_int) (int_range 1 10) (int_range 1 8))
+    (fun (xs, k, mc) ->
+      let chunks = P.chunk ~min_chunk:mc ~chunks:k xs in
+      let n = List.length xs in
+      List.concat chunks = xs
+      && List.for_all (fun c -> c <> []) chunks
+      && List.length chunks <= k
+      && List.length chunks <= max 1 (n / mc)
+      && (n < mc || List.for_all (fun c -> List.length c >= mc) chunks)
+      && (n = 0 || n >= mc || List.length chunks = 1))
+
+let test_core_detection () =
+  let cores = P.available_cores () in
+  Alcotest.(check bool) "at least one core" true (cores >= 1);
+  Alcotest.(check int) "effective 1 = 1" 1 (P.effective ~requested:1);
+  Alcotest.(check int) "effective clamps to cores" cores
+    (P.effective ~requested:(cores + 64));
+  (match P.effective ~requested:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "requested 0 must be rejected");
+  (* a clamped pool never exceeds the core count; an unclamped one
+     keeps the requested width *)
+  P.with_pool ~domains:(cores + 8) (fun pool ->
+      Alcotest.(check bool) "clamped pool size <= cores" true
+        (P.size pool <= cores));
+  P.with_pool ~clamp:false ~domains:2 (fun pool ->
+      Alcotest.(check int) "unclamped pool keeps width" 2 (P.size pool))
+
 let test_shutdown_degrades () =
-  let pool = P.create ~domains in
+  let pool = P.create ~clamp:false ~domains () in
   P.shutdown pool;
   P.shutdown pool;
   (* idempotent *)
@@ -101,11 +135,15 @@ let catalog_views n =
        (Dc_gtopdb.Views_catalog.synthetic ~count:n
        @ [ Dc_gtopdb.Views_catalog.v_committee ]))
 
+(* [min_parallel:0] forces the fan-out even for tiny candidate sets:
+   the point is to compare the parallel path against the sequential
+   one, not to let the smallness gate pick sequential for both. *)
 let same_rewritings ?(strategy = Rw.Rewrite.Minicon) pool views q =
-  let seq, seq_stats = Rw.Rewrite.rewritings ~strategy views q in
-  let par, par_stats = Rw.Rewrite.rewritings ~strategy ~pool views q in
-  List.map Cq.Query.to_string seq = List.map Cq.Query.to_string par
-  && seq_stats = par_stats
+  let seq = Rw.Rewrite.search ~strategy views q in
+  let par = Rw.Rewrite.search ~strategy ~pool ~min_parallel:0 views q in
+  List.map Cq.Query.to_string seq.queries
+  = List.map Cq.Query.to_string par.queries
+  && seq.stats = par.stats
 
 let test_rewriting_deterministic () =
   with_test_pool @@ fun pool ->
@@ -168,7 +206,8 @@ let results_agree (a : C.Engine.result) (b : C.Engine.result) =
 
 let test_shards_agree () =
   let sharded =
-    C.Sharded_engine.create ~shards:domains small_db Dc_gtopdb.Paper_views.all
+    C.Sharded_engine.create ~clamp:false ~shards:domains small_db
+      Dc_gtopdb.Paper_views.all
   in
   let expected =
     C.Engine.cite (C.Sharded_engine.primary sharded) Dc_gtopdb.Paper_views.query_q
@@ -200,7 +239,8 @@ let test_cite_batch_matches_sequential () =
   let expected = List.map (C.Engine.cite engine) queries in
   with_test_pool @@ fun pool ->
   let sharded =
-    C.Sharded_engine.create ~shards:domains small_db Dc_gtopdb.Paper_views.all
+    C.Sharded_engine.create ~clamp:false ~shards:domains small_db
+      Dc_gtopdb.Paper_views.all
   in
   let got = C.Sharded_engine.cite_batch sharded pool queries in
   Alcotest.(check int) "one result per query" (List.length queries)
@@ -211,6 +251,40 @@ let test_cite_batch_matches_sequential () =
         (Printf.sprintf "batch result %d agrees" i)
         true (results_agree e g))
     (List.combine expected got)
+
+(* Regression: the round-robin counter is a plain [Atomic.t] that will
+   eventually wrap past [max_int]; with OCaml's sign-preserving [mod]
+   the shard index then went negative and [pick] crashed.  Seed the
+   counter right below the wrap point and dispatch across it. *)
+let test_pick_survives_counter_overflow () =
+  let sharded =
+    C.Sharded_engine.create ~clamp:false ~shards:3 small_db
+      Dc_gtopdb.Paper_views.all
+  in
+  let shards =
+    List.init (C.Sharded_engine.shard_count sharded)
+      (C.Sharded_engine.shard sharded)
+  in
+  C.Sharded_engine.seed_round_robin sharded (max_int - 2);
+  for i = 1 to 8 do
+    let e = C.Sharded_engine.pick sharded in
+    Alcotest.(check bool)
+      (Printf.sprintf "pick %d stays in range across overflow" i)
+      true
+      (List.exists (fun s -> s == e) shards)
+  done;
+  (* a negative seed (counter already wrapped) dispatches too *)
+  C.Sharded_engine.seed_round_robin sharded min_int;
+  let picked = C.Sharded_engine.pick sharded in
+  Alcotest.(check bool) "negative counter stays in range" true
+    (List.exists (fun s -> s == picked) shards);
+  (* clamped single-shard engines never touch the counter *)
+  let expected =
+    C.Engine.cite (C.Sharded_engine.primary sharded) Dc_gtopdb.Paper_views.query_q
+  in
+  Alcotest.(check bool) "citation still correct after overflow" true
+    (results_agree expected
+       (C.Sharded_engine.cite sharded Dc_gtopdb.Paper_views.query_q))
 
 (* Multi-domain stress on ONE engine (no shards): domains hammer the
    same caches through the engine mutex; results must stay correct. *)
@@ -295,6 +369,9 @@ let suite =
     Alcotest.test_case "pool: shutdown degrades to caller" `Quick
       test_shutdown_degrades;
     test_chunk_props;
+    test_chunk_min_chunk;
+    Alcotest.test_case "pool: core detection and clamping" `Quick
+      test_core_detection;
     test_parallel_map_matches_map;
     Alcotest.test_case "rewriting: parallel byte-identical" `Quick
       test_rewriting_deterministic;
@@ -305,6 +382,8 @@ let suite =
       test_shards_agree;
     Alcotest.test_case "shards: cite_batch = sequential" `Quick
       test_cite_batch_matches_sequential;
+    Alcotest.test_case "shards: pick survives counter overflow" `Quick
+      test_pick_survives_counter_overflow;
     Alcotest.test_case "shared engine: multi-domain stress" `Quick
       test_shared_engine_stress;
     Alcotest.test_case "worker pool: domain backend" `Quick

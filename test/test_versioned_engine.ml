@@ -235,7 +235,7 @@ let test_citer_dispatch () =
   (* the same query through all three CITER backends agrees *)
   let db = paper_db () in
   let eng = oracle db in
-  let sharded = C.Sharded_engine.of_engine ~shards:2 (oracle db) in
+  let sharded = C.Sharded_engine.of_engine ~clamp:false ~shards:2 (oracle db) in
   let ve = make () in
   let via_engine = C.Citer.cite (C.Citer.of_engine eng) q in
   let via_sharded = C.Citer.cite (C.Citer.of_sharded sharded) q in
