@@ -114,6 +114,7 @@ let () =
       ("E13", Experiments.e13);
       ("E14", Experiments.e14);
       ("E15", Experiments.e15);
+      ("E16", Experiments.e16);
     ]
   in
   let to_run =

@@ -103,7 +103,86 @@ let timeout_arg =
     & opt float S.Server.default_config.request_timeout_s
     & info [ "timeout" ] ~docv:"SECONDS" ~doc)
 
-let run data views demo host port workers domains queue version_cache timeout =
+let data_dir_arg =
+  let doc =
+    "Durable data directory (write-ahead log + snapshots).  An empty \
+     directory is initialized from the loaded database; a populated one is \
+     recovered on start — WAL replayed onto the latest snapshot, torn tails \
+     discarded, registered queries re-armed — so VERIFY holds across \
+     restarts.  Without this flag the server is purely in-memory."
+  in
+  Arg.(value & opt (some string) None & info [ "data-dir" ] ~docv:"DIR" ~doc)
+
+let fsync_arg =
+  let parse s =
+    match String.lowercase_ascii (String.trim s) with
+    | "always" -> Ok Dc_storage.Store.Always
+    | "never" -> Ok Dc_storage.Store.Never
+    | p -> (
+        let num =
+          match String.index_opt p ':' with
+          | Some i when String.sub p 0 i = "interval" ->
+              String.sub p (i + 1) (String.length p - i - 1)
+          | _ -> p
+        in
+        match float_of_string_opt num with
+        | Some f when f > 0. -> Ok (Dc_storage.Store.Interval f)
+        | _ ->
+            Error
+              (`Msg
+                (Printf.sprintf
+                   "bad fsync policy %S (want always, never or \
+                    interval:SECONDS)"
+                   s)))
+  in
+  let print ppf = function
+    | Dc_storage.Store.Always -> Format.pp_print_string ppf "always"
+    | Dc_storage.Store.Never -> Format.pp_print_string ppf "never"
+    | Dc_storage.Store.Interval f -> Format.fprintf ppf "interval:%g" f
+  in
+  let doc =
+    "WAL fsync policy with --data-dir: $(b,always) (every commit durable \
+     before it is acknowledged), $(b,interval:SECONDS) (bounded loss \
+     window), or $(b,never) (leave flushing to the OS)."
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) S.Server.default_config.fsync
+    & info [ "fsync" ] ~docv:"POLICY" ~doc)
+
+let snapshot_every_arg =
+  let doc =
+    "Background snapshot cadence in seconds with --data-dir (0 disables; a \
+     final snapshot is still written on graceful shutdown)."
+  in
+  Arg.(
+    value
+    & opt float S.Server.default_config.snapshot_every_s
+    & info [ "snapshot-every" ] ~docv:"SECONDS" ~doc)
+
+let recovery_arg =
+  let parse s =
+    match String.lowercase_ascii (String.trim s) with
+    | "full" -> Ok Dc_storage.Store.Full
+    | "fast" -> Ok Dc_storage.Store.Fast
+    | _ -> Error (`Msg (Printf.sprintf "bad recovery mode %S (want full or fast)" s))
+  in
+  let print ppf = function
+    | Dc_storage.Store.Full -> Format.pp_print_string ppf "full"
+    | Dc_storage.Store.Fast -> Format.pp_print_string ppf "fast"
+  in
+  let doc =
+    "Recovery mode with --data-dir: $(b,full) replays the whole WAL so \
+     every version ever committed is citable again; $(b,fast) restarts \
+     from the latest snapshot only."
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) S.Server.default_config.recovery
+    & info [ "recovery" ] ~docv:"MODE" ~doc)
+
+let run data views demo host port workers domains queue version_cache timeout
+    data_dir fsync snapshot_every recovery =
   let db, cvs =
     if demo then
       (Dc_gtopdb.Paper_views.example_database (), Dc_gtopdb.Paper_views.all)
@@ -126,9 +205,18 @@ let run data views demo host port workers domains queue version_cache timeout =
       queue_capacity = queue;
       version_cache;
       request_timeout_s = timeout;
+      data_dir;
+      fsync;
+      snapshot_every_s = snapshot_every;
+      recovery;
     }
   in
-  let server = S.Server.start ~config engine in
+  let server =
+    try S.Server.start ~config engine
+    with Failure e ->
+      prerr_endline ("datacite-server: " ^ e);
+      exit 1
+  in
   let restore = S.Server.install_signal_handlers server in
   Printf.printf "datacite-server listening on %s:%d (%d views, %d tuples)\n%!"
     host (S.Server.port server)
@@ -143,7 +231,8 @@ let () =
     Term.(
       const run $ data_arg $ views_arg $ demo_arg $ host_arg $ port_arg
       $ workers_arg $ domains_arg $ queue_arg $ version_cache_arg
-      $ timeout_arg)
+      $ timeout_arg $ data_dir_arg $ fsync_arg $ snapshot_every_arg
+      $ recovery_arg)
   in
   let info =
     Cmd.info "datacite-server" ~version:"1.0.0"

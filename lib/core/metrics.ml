@@ -22,6 +22,10 @@ module Key = struct
   let version_cache_misses = "version_cache_misses"
   let version_cache_evictions = "version_cache_evictions"
   let registrations_maintained = "registrations_maintained"
+  let wal_appends = "wal_appends"
+  let wal_fsyncs = "wal_fsyncs"
+  let snapshots_written = "snapshots_written"
+  let recovery_replayed_deltas = "recovery_replayed_deltas"
 
   let all =
     [
@@ -45,6 +49,10 @@ module Key = struct
       version_cache_misses;
       version_cache_evictions;
       registrations_maintained;
+      wal_appends;
+      wal_fsyncs;
+      snapshots_written;
+      recovery_replayed_deltas;
     ]
 end
 
@@ -339,6 +347,13 @@ let () =
      | Cq.Eval.Cache_hit -> record Key.eval_cache_hits
      | Cq.Eval.Cache_miss -> record Key.eval_cache_misses);
   Cq.Containment.on_check := (fun () -> record Key.containment_checks);
+  (* Storage instrumentation: counter names are the Key.* above
+     (wal_appends, wal_fsyncs, snapshots_written,
+     recovery_replayed_deltas); timer names (wal_append, wal_fsync,
+     snapshot_write, snapshot_load, recovery_replay) surface through
+     [timers]/STATS like any other. *)
+  Dc_storage.Hooks.count := (fun name by -> record ~by name);
+  Dc_storage.Hooks.time := (fun name f -> record_time name f);
   Rw.Rewrite.on_event :=
     (function
      | Rw.Rewrite.Candidate -> record Key.rewriting_candidates

@@ -95,6 +95,23 @@ module Key : sig
   (** Incremental registrations updated across [commit_delta] calls
       (one count per registration per commit). *)
 
+  val wal_appends : string
+  (** Records appended to the durable store's write-ahead log (commits
+      and registrations). *)
+
+  val wal_fsyncs : string
+  (** fsync(2) calls issued by the WAL writer — [Always] makes this
+      track {!wal_appends}; [Interval]/[Never] keep it far below.  The
+      time spent is under the [wal_fsync] timer. *)
+
+  val snapshots_written : string
+  (** Binary snapshots written (background cadence, graceful drain, or
+      data-dir initialization). *)
+
+  val recovery_replayed_deltas : string
+  (** Committed deltas replayed from the WAL during crash recovery
+      (time under the [recovery_replay] timer). *)
+
   val all : string list
   (** Every key above, in canonical display order. *)
 end

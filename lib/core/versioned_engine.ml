@@ -28,6 +28,11 @@ type t = {
   (* Head-version incremental registrations, keyed by the registered
      query's rendering.  Mutated only under [commit_mu]. *)
   mutable regs : (string * Incremental.t) list;
+  (* Durable backing, when armed ([set_durability]): commits and
+     registrations append to its WAL {e before} publishing, so the
+     in-memory head never runs ahead of the log.  Read and written only
+     under [commit_mu]. *)
+  mutable durability : Dc_storage.Store.t option;
   (* [mu] guards every mutable field for brief reads/swaps; [commit_mu]
      serializes whole commits and registrations.  Order: [commit_mu]
      may take [mu]; never the reverse.  Nothing slow (materialization,
@@ -48,19 +53,30 @@ type cited = {
 let locked t f = Mutex.protect t.mu f
 let committing t f = Mutex.protect t.commit_mu f
 
-let of_engine ?(capacity = 4) eng =
+let of_engine ?(capacity = 4) ?store eng =
   if capacity < 1 then
     invalid_arg "Versioned_engine.of_engine: capacity must be >= 1";
+  let store, engines =
+    match store with
+    | None -> (VS.create (Engine.database eng), [ (0, eng) ])
+    | Some s ->
+        (* A recovered store: the given engine's database is whatever
+           it was created over (typically the version-0 load), which
+           need not be [s]'s head — cache nothing and let [engine_at]
+           materialize versions from the template on demand. *)
+        (s, [])
+  in
   {
     template = Engine.replicate eng;
     metrics = Engine.metrics eng;
     capacity;
-    store = VS.create (Engine.database eng);
-    engines = [ (0, eng) ];
+    store;
+    engines;
     digests = Hashtbl.create 8;
     regs = [];
     mu = Mutex.create ();
     commit_mu = Mutex.create ();
+    durability = None;
   }
 
 let create ?policy ?selection ?partial ?fallback_contained ?pool ?capacity
@@ -69,6 +85,9 @@ let create ?policy ?selection ?partial ?fallback_contained ?pool ?capacity
   of_engine ?capacity
     (Engine.create ?policy ?selection ?partial ?fallback_contained ?pool
        ~metrics db views)
+
+let set_durability t store =
+  committing t (fun () -> t.durability <- Some store)
 
 let snapshot t = locked t (fun () -> t.store)
 let store = snapshot
@@ -193,20 +212,33 @@ let cite_string t src =
   | Error e -> Error e
   | Ok q -> Result.map (fun c -> c.result) (cite t q)
 
-let register t q =
+let register_gen ~durable t q =
   committing t @@ fun () ->
   let hd = VS.head t.store in
+  Result.bind (engine_at t hd) @@ fun eng ->
+  (* Register on a private replica: [Incremental] evaluates with
+     the raw eval-cache handle, bypassing the engine lock, so it
+     must never share caches with an engine serving concurrent
+     citations. *)
+  let reg = Incremental.register (Engine.replicate eng) q in
+  let key = reg_key q in
+  let logged =
+    match t.durability with
+    | Some d when durable -> Dc_storage.Store.append_register d key
+    | _ -> Ok ()
+  in
   Result.map
-    (fun eng ->
-      (* Register on a private replica: [Incremental] evaluates with
-         the raw eval-cache handle, bypassing the engine lock, so it
-         must never share caches with an engine serving concurrent
-         citations. *)
-      let reg = Incremental.register (Engine.replicate eng) q in
-      let key = reg_key q in
+    (fun () ->
       locked t (fun () ->
           t.regs <- (key, reg) :: List.remove_assoc key t.regs))
-    (engine_at t hd)
+    logged
+
+let register t q = register_gen ~durable:true t q
+
+(* Recovery re-arming: the WAL already holds this registration, so
+   appending it again on every restart would grow the log with
+   duplicates. *)
+let rearm t q = register_gen ~durable:false t q
 
 let commit_delta t delta =
   committing t @@ fun () ->
@@ -214,8 +246,22 @@ let commit_delta t delta =
   | exception Not_found ->
       Error "delta touches a relation absent from the database"
   | exception Invalid_argument e -> Error e
-  | new_db ->
+  | new_db -> (
       let store', v = VS.commit t.store new_db in
+      (* WAL before publish: the delta becomes durable (to the armed
+         fsync policy) while [t.store] still shows the old head.  An
+         append failure aborts the commit — the caller sees Error and
+         no state changed, so the log can never lag the head. *)
+      let logged =
+        match t.durability with
+        | None -> Ok ()
+        | Some d ->
+            let at = Option.value ~default:0 (VS.timestamp store' v) in
+            Dc_storage.Store.append_commit d ~version:v ~at delta
+      in
+      match logged with
+      | Error e -> Error ("commit not durable: " ^ e)
+      | Ok () ->
       (* Registrations advance through the SAME database value the
          store commits ([apply_head] computed it once): head and
          derived state cannot diverge. *)
@@ -240,7 +286,7 @@ let commit_delta t delta =
           t.store <- store';
           t.regs <- regs';
           trim_unlocked t);
-      Ok v
+      Ok v)
 
 let pp ppf t =
   let store, cached, regs =

@@ -60,10 +60,24 @@ val create :
     {!Engine.create} and apply to every per-version engine; [capacity]
     (default 4, minimum 1) bounds the LRU engine cache. *)
 
-val of_engine : ?capacity:int -> Engine.t -> t
+val of_engine :
+  ?capacity:int -> ?store:Dc_relational.Version_store.t -> Engine.t -> t
 (** Wrap an existing engine as version 0 of a fresh store.  The
     engine's database, views, policy, selection and metrics registry
-    carry over to every per-version engine. *)
+    carry over to every per-version engine.  When [store] is given
+    (crash recovery), the versioned engine serves {e that} store
+    instead — per-version engines, including the recovered head's, are
+    materialized lazily from the given engine's template. *)
+
+val set_durability : t -> Dc_storage.Store.t -> unit
+(** Arm durable backing: every subsequent {!commit_delta} appends to
+    the store's WAL {e before} the new head is published (an append
+    failure fails the commit), and every {!register} is logged.  Set
+    once at startup, before serving. *)
+
+val rearm : t -> Dc_cq.Query.t -> (unit, string) result
+(** {!register} minus the WAL append — recovery re-arms queries the
+    log already contains without duplicating them. *)
 
 val head : t -> Dc_relational.Version_store.version
 val versions : t -> Dc_relational.Version_store.version list

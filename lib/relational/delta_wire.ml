@@ -1,0 +1,110 @@
+(* The protocol-v2 wire form of a delta, factored down from the server
+   codec so the storage WAL can reuse the exact on-the-wire record
+   encoding (ROADMAP item 4: "the protocol-v2 wire delta format is
+   already the right serialization"). *)
+
+(* The same scalar coercion the CLI, REPL and server apply to loose
+   values: an integer literal is an Int, everything else a Str. *)
+let parse_scalar s =
+  match int_of_string_opt s with
+  | Some n -> Value.Int n
+  | None -> Value.Str s
+
+let render d =
+  String.concat ";"
+    (List.concat_map
+       (fun (rel, changes) ->
+         List.map
+           (fun (c : Delta.change) ->
+             match c with
+             | Delta.Insert t ->
+                 Printf.sprintf "+%s(%s)" rel
+                   (String.concat ","
+                      (List.map Value.to_string (Tuple.to_list t)))
+             | Delta.Delete t ->
+                 Printf.sprintf "-%s(%s)" rel
+                   (String.concat ","
+                      (List.map Value.to_string (Tuple.to_list t))))
+           changes)
+       (Delta.changes d))
+
+(* One change: [+Rel(v1,v2,...)] or [-Rel(v1,v2,...)].  [coerce] turns
+   the raw fields of relation [rel] into values; the scalar and the
+   schema-typed parsers differ only there. *)
+let parse_change ~coerce s =
+  let s = String.trim s in
+  let n = String.length s in
+  let bad () =
+    Error (Printf.sprintf "bad change %S (want +Rel(v,...) or -Rel(v,...))" s)
+  in
+  if n < 4 then bad ()
+  else
+    let sign = s.[0] in
+    if sign <> '+' && sign <> '-' then bad ()
+    else if s.[n - 1] <> ')' then bad ()
+    else
+      match String.index_opt s '(' with
+      | None -> bad ()
+      | Some i ->
+          let rel = String.trim (String.sub s 1 (i - 1)) in
+          let inner = String.sub s (i + 1) (n - i - 2) in
+          let fields =
+            String.split_on_char ',' inner
+            |> List.map String.trim
+            |> List.filter (fun p -> p <> "")
+          in
+          if rel = "" then bad ()
+          else if fields = [] then
+            Error (Printf.sprintf "bad change %S: empty tuple" s)
+          else
+            Result.map (fun tuple -> (sign, rel, tuple)) (coerce rel fields)
+
+let parse_with ~coerce s =
+  let parts =
+    String.split_on_char ';' s |> List.map String.trim
+    |> List.filter (fun p -> p <> "")
+  in
+  if parts = [] then Error "empty delta"
+  else
+    let rec go acc = function
+      | [] -> Ok acc
+      | p :: rest -> (
+          match parse_change ~coerce p with
+          | Error e -> Error e
+          | Ok ('+', rel, tuple) -> go (Delta.insert acc rel tuple) rest
+          | Ok (_, rel, tuple) -> go (Delta.delete acc rel tuple) rest)
+    in
+    go Delta.empty parts
+
+let parse s =
+  parse_with s ~coerce:(fun _rel fields ->
+      Ok (Tuple.make (List.map parse_scalar fields)))
+
+(* Schema-typed parse: fields are coerced column by column through
+   [Value.of_string], so a float or timestamp column round-trips as
+   itself instead of decaying to [Str] — WAL replay depends on this to
+   reproduce a committed database bit for bit. *)
+let parse_typed ~schemas s =
+  let schema_of rel =
+    List.find_opt (fun sc -> String.equal (Schema.name sc) rel) schemas
+  in
+  parse_with s ~coerce:(fun rel fields ->
+      match schema_of rel with
+      | None -> Error (Printf.sprintf "unknown relation %s" rel)
+      | Some schema ->
+          let attrs = Schema.attributes schema in
+          if List.length fields <> List.length attrs then
+            Error
+              (Printf.sprintf "expected %d fields for %s, got %d"
+                 (List.length attrs) rel (List.length fields))
+          else
+            let rec coerce acc attrs fields =
+              match (attrs, fields) with
+              | [], [] -> Ok (Tuple.make (List.rev acc))
+              | (a : Schema.attribute) :: attrs, f :: fields -> (
+                  match Value.of_string a.ty f with
+                  | Ok v -> coerce (v :: acc) attrs fields
+                  | Error e -> Error (Printf.sprintf "%s: %s" rel e))
+              | _ -> assert false
+            in
+            coerce [] attrs fields)

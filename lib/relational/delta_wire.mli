@@ -1,0 +1,26 @@
+(** The protocol-v2 wire form of a {!Delta.t} — the COMMIT_DELTA
+    payload, also the storage WAL's record encoding.
+
+    {v change ::= ("+" | "-") relation "(" scalar { "," scalar } ")" v}
+
+    Changes join with [;].  Values render through {!Value.to_string},
+    so strings containing [,;()] are outside the format (the server
+    protocol documents the same restriction). *)
+
+val render : Delta.t -> string
+
+val parse : string -> (Delta.t, string) result
+(** Schemaless parse with the loose scalar coercion the server and CLI
+    use: integer literals become [Int], everything else [Str].  Total —
+    never raises. *)
+
+val parse_typed : schemas:Schema.t list -> string -> (Delta.t, string) result
+(** Schema-typed parse: each field is coerced by its column type via
+    {!Value.of_string}, so float / bool / timestamp columns round-trip
+    as themselves.  [Error] on an unknown relation, arity mismatch or
+    uncoercible field.  WAL replay uses this to reproduce committed
+    databases exactly. *)
+
+val parse_scalar : string -> Value.t
+(** The loose scalar coercion by itself (shared with the server's
+    CITE_PARAM bindings). *)

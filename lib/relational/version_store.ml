@@ -7,25 +7,32 @@ type entry = { db : Database.t; at : int }
 type t = {
   entries : entry Imap.t;
   head : version;
-  clock : unit -> int;
+  (* [None] is the default deterministic clock: version [v] is stamped
+     [at = v + 1] (the historical counter behaviour), computed from the
+     head entry so a store {!restore}d at an arbitrary version keeps
+     ticking monotonically from its restored timestamp. *)
+  clock : (unit -> int) option;
 }
 
-let default_clock () =
-  let counter = ref 0 in
-  fun () ->
-    incr counter;
-    !counter
-
 let create ?clock db =
-  let clock = match clock with Some c -> c | None -> default_clock () in
-  { entries = Imap.singleton 0 { db; at = clock () }; head = 0; clock }
+  let at = match clock with Some c -> c () | None -> 1 in
+  { entries = Imap.singleton 0 { db; at }; head = 0; clock }
+
+let restore ?clock ~version ~at db =
+  if version < 0 then invalid_arg "Version_store.restore: negative version";
+  { entries = Imap.singleton version { db; at }; head = version; clock }
 
 let head s = s.head
 let head_db s = (Imap.find s.head s.entries).db
+let head_at s = (Imap.find s.head s.entries).at
+
+let commit_at s ~at db =
+  let v = s.head + 1 in
+  ({ s with entries = Imap.add v { db; at } s.entries; head = v }, v)
 
 let commit s db =
-  let v = s.head + 1 in
-  ({ s with entries = Imap.add v { db; at = s.clock () } s.entries; head = v }, v)
+  let at = match s.clock with Some c -> c () | None -> head_at s + 1 in
+  commit_at s ~at db
 
 (* THE delta-application path.  [commit_delta] below and every caller
    that maintains derived state next to the store (the versioned

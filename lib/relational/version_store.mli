@@ -13,14 +13,26 @@ type t
 
 val create : ?clock:(unit -> int) -> Database.t -> t
 (** [create db] starts a store whose version 0 is [db].  [clock] supplies
-    commit timestamps (seconds); it defaults to a deterministic counter so
-    tests and benchmarks are reproducible. *)
+    commit timestamps (seconds); it defaults to a deterministic counter
+    (version [v] is stamped [v + 1]) so tests and benchmarks are
+    reproducible. *)
+
+val restore : ?clock:(unit -> int) -> version:version -> at:int -> Database.t -> t
+(** [restore ~version ~at db] rebuilds a store whose sole entry is
+    [version], stamped [at] — the recovery seed: a snapshot re-enters
+    the store exactly as it was committed, and subsequent default-clock
+    commits keep ticking monotonically from [at].  Raises
+    [Invalid_argument] on a negative version. *)
 
 val head : t -> version
 val head_db : t -> Database.t
 
 val commit : t -> Database.t -> t * version
 (** Records a new version whose contents are the given database. *)
+
+val commit_at : t -> at:int -> Database.t -> t * version
+(** {!commit} with an explicit timestamp, bypassing the clock — WAL
+    replay uses this to reproduce original commit times. *)
 
 val apply_head : t -> Delta.t -> Database.t
 (** [apply_head store delta] is [Delta.apply (head_db store) delta] —

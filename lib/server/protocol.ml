@@ -11,6 +11,7 @@ type request =
   | Register of string
   | Stats
   | Health
+  | Health_v2
   | Quit
 
 let protocol_version = 2
@@ -28,10 +29,7 @@ let split_first line =
 
 (* The same scalar coercion the CLI and REPL apply to NAME=VALUE
    parameters: an integer literal is an Int, everything else a Str. *)
-let parse_scalar s =
-  match int_of_string_opt s with
-  | Some n -> R.Value.Int n
-  | None -> R.Value.Str s
+let parse_scalar = R.Delta_wire.parse_scalar
 
 let parse_binding s =
   match String.index_opt s '=' with
@@ -60,76 +58,21 @@ let strip_cr line =
   let n = String.length line in
   if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
 
-(* One change of a COMMIT_DELTA payload: [+Rel(v1,v2,...)] or
-   [-Rel(v1,v2,...)].  Values go through the same scalar coercion as
-   CITE_PARAM bindings, so strings containing [,;()] are outside the
-   wire format (deltas carrying them need a richer client). *)
-let parse_change s =
-  let s = String.trim s in
-  let n = String.length s in
-  let bad () = Error (Printf.sprintf "bad change %S (want +Rel(v,...) or -Rel(v,...))" s) in
-  if n < 4 then bad ()
-  else
-    let sign = s.[0] in
-    if sign <> '+' && sign <> '-' then bad ()
-    else if s.[n - 1] <> ')' then bad ()
-    else
-      match String.index_opt s '(' with
-      | None -> bad ()
-      | Some i ->
-          let rel = String.trim (String.sub s 1 (i - 1)) in
-          let inner = String.sub s (i + 1) (n - i - 2) in
-          let values =
-            String.split_on_char ',' inner
-            |> List.map String.trim
-            |> List.filter (fun p -> p <> "")
-            |> List.map parse_scalar
-          in
-          if rel = "" then bad ()
-          else if values = [] then
-            Error (Printf.sprintf "bad change %S: empty tuple" s)
-          else Ok (sign, rel, R.Tuple.make values)
-
+(* Delta payloads use the shared wire codec ({!Dc_relational.Delta_wire})
+   — the same encoding the storage WAL persists — with the loose scalar
+   coercion, so strings containing [,;()] are outside the wire format
+   (deltas carrying them need a richer client). *)
 let parse_delta s =
-  let parts =
-    String.split_on_char ';' s |> List.map String.trim
-    |> List.filter (fun p -> p <> "")
-  in
-  if parts = [] then Error "COMMIT_DELTA: empty delta"
-  else
-    let rec go acc = function
-      | [] -> Ok acc
-      | p :: rest -> (
-          match parse_change p with
-          | Error e -> Error e
-          | Ok ('+', rel, tuple) -> go (R.Delta.insert acc rel tuple) rest
-          | Ok (_, rel, tuple) -> go (R.Delta.delete acc rel tuple) rest)
-    in
-    go R.Delta.empty parts
+  Result.map_error (fun e -> "COMMIT_DELTA: " ^ e) (R.Delta_wire.parse s)
 
-let render_delta d =
-  String.concat ";"
-    (List.concat_map
-       (fun (rel, changes) ->
-         List.map
-           (fun (c : R.Delta.change) ->
-             match c with
-             | R.Delta.Insert t ->
-                 Printf.sprintf "+%s(%s)" rel
-                   (String.concat ","
-                      (List.map R.Value.to_string (R.Tuple.to_list t)))
-             | R.Delta.Delete t ->
-                 Printf.sprintf "-%s(%s)" rel
-                   (String.concat ","
-                      (List.map R.Value.to_string (R.Tuple.to_list t))))
-           changes)
-       (R.Delta.changes d))
+let render_delta = R.Delta_wire.render
 
 (* The command table is shared by both protocol versions: the [V2]
    prefix is what a self-describing v2 client sends, but the commands
    it introduced are also accepted bare, and every v1 command is valid
-   under the prefix.  [parse_request] stays total either way. *)
-let parse_command line =
+   under the prefix ([v2] only selects the richer HEALTH report).
+   [parse_request] stays total either way. *)
+let parse_command ~v2 line =
   let cmd, rest = split_first line in
   match String.uppercase_ascii cmd with
   | "CITE" -> if rest = "" then Error "CITE: missing query" else Ok (Cite rest)
@@ -169,7 +112,8 @@ let parse_command line =
       if rest = "" then Error "REGISTER: missing query" else Ok (Register rest)
   | "STATS" -> if rest = "" then Ok Stats else Error "STATS takes no arguments"
   | "HEALTH" ->
-      if rest = "" then Ok Health else Error "HEALTH takes no arguments"
+      if rest = "" then Ok (if v2 then Health_v2 else Health)
+      else Error "HEALTH takes no arguments"
   | "QUIT" -> if rest = "" then Ok Quit else Error "QUIT takes no arguments"
   | other ->
       Error
@@ -184,8 +128,9 @@ let parse_request line =
   else
     let cmd, rest = split_first line in
     if String.uppercase_ascii cmd = "V2" then
-      if rest = "" then Error "V2: missing command" else parse_command rest
-    else parse_command line
+      if rest = "" then Error "V2: missing command"
+      else parse_command ~v2:true rest
+    else parse_command ~v2:false line
 
 let render_request = function
   | Cite q -> "CITE " ^ q
@@ -203,6 +148,7 @@ let render_request = function
   | Register q -> "V2 REGISTER " ^ q
   | Stats -> "STATS"
   | Health -> "HEALTH"
+  | Health_v2 -> "V2 HEALTH"
   | Quit -> "QUIT"
 
 (* ------------------------------------------------------------------ *)
@@ -323,7 +269,8 @@ let ok_citation ~view ~citation ~ms =
 
 let ok_stats ~stats_json = obj [ ("ok", "true"); ("stats", stats_json) ]
 
-let ok_health ?version ~uptime_s ~views ~relations ~tuples () =
+let ok_health ?version ?data_dir ?wal_enabled ?last_snapshot_version ~uptime_s
+    ~views ~relations ~tuples () =
   obj
     ([
        ("ok", "true");
@@ -340,9 +287,19 @@ let ok_health ?version ~uptime_s ~views ~relations ~tuples () =
        ("relations", string_of_int relations);
        ("tuples", string_of_int tuples);
      ]
-    @ match version with
+    @ (match version with
       | None -> []
       | Some v -> [ ("head_version", string_of_int v) ])
+    (* Durability report (v2 HEALTH only — v1 output must stay
+       byte-identical, so every field below is opt-in). *)
+    @ (match data_dir with None -> [] | Some d -> [ ("data_dir", jstr d) ])
+    @ (match wal_enabled with
+      | None -> []
+      | Some b -> [ ("wal_enabled", string_of_bool b) ])
+    @
+    match last_snapshot_version with
+    | None -> []
+    | Some v -> [ ("last_snapshot_version", string_of_int v) ])
 
 let ok_bye = obj [ ("ok", "true"); ("bye", "true") ]
 

@@ -61,6 +61,10 @@ type request =
   | Stats  (** engine + server metrics as JSON *)
   | Health  (** liveness probe with coarse engine facts + protocol
                 handshake *)
+  | Health_v2
+      (** [V2 HEALTH]: the v1 report plus the durability fields
+          ([data_dir], [wal_enabled], [last_snapshot_version]).  Bare
+          [HEALTH] stays byte-identical to v1. *)
   | Quit  (** close this connection *)
 
 val protocol_version : int
@@ -119,6 +123,9 @@ val ok_stats : stats_json:string -> string
 
 val ok_health :
   ?version:int ->
+  ?data_dir:string ->
+  ?wal_enabled:bool ->
+  ?last_snapshot_version:int ->
   uptime_s:float ->
   views:int ->
   relations:int ->
@@ -126,7 +133,9 @@ val ok_health :
   unit ->
   string
 (** [version], when given, reports the versioned engine's head as
-    [head_version]. *)
+    [head_version].  The durability fields ([data_dir], [wal_enabled],
+    [last_snapshot_version]) are appended only when given — a v2 HEALTH
+    report; omitting them keeps the v1 output byte-identical. *)
 
 val ok_bye : string
 

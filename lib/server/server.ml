@@ -14,6 +14,10 @@ type config = {
   max_line_bytes : int;
   domains : int;
   version_cache : int;
+  data_dir : string option;
+  fsync : Dc_storage.Store.fsync;
+  snapshot_every_s : float;
+  recovery : Dc_storage.Store.mode;
 }
 
 let default_config =
@@ -26,6 +30,10 @@ let default_config =
     max_line_bytes = 1 lsl 16;
     domains = 1;
     version_cache = 4;
+    data_dir = None;
+    fsync = Dc_storage.Store.Always;
+    snapshot_every_s = 300.;
+    recovery = Dc_storage.Store.Full;
   }
 
 type state = Serving | Draining | Stopped
@@ -57,6 +65,11 @@ type t = {
   domains_eff : int;
   started_at : float;
   stop_requested : bool Atomic.t;
+  (* Durable backing, when [config.data_dir] was set: the WAL the
+     versioned engine appends to, plus snapshot bookkeeping.  [stop]
+     writes a final snapshot and closes it. *)
+  storage : Dc_storage.Store.t option;
+  mutable snapshot_thread : Thread.t option;
 }
 
 let port t = t.bound_port
@@ -135,10 +148,24 @@ let execute t eng (req : Protocol.request) =
   | Protocol.Stats ->
       C.Metrics.record_time "server_stats" @@ fun () ->
       Protocol.ok_stats ~stats_json:(C.Metrics.to_json m)
-  | Protocol.Health ->
+  | Protocol.Health | Protocol.Health_v2 ->
       let db = C.Engine.database (engine t) in
+      (* v2 HEALTH adds the durability report; bare HEALTH stays
+         byte-identical to protocol v1. *)
+      let data_dir, wal_enabled, last_snapshot_version =
+        match req with
+        | Protocol.Health -> (None, None, None)
+        | _ -> (
+            match t.storage with
+            | None -> (None, Some false, None)
+            | Some st ->
+                ( Some (Dc_storage.Store.dir st),
+                  Some true,
+                  Some (Dc_storage.Store.last_snapshot_version st) ))
+      in
       Protocol.ok_health
         ~version:(C.Versioned_engine.head t.versioned)
+        ?data_dir ?wal_enabled ?last_snapshot_version
         ~uptime_s:(Dc_clock.Monotonic.now_s () -. t.started_at)
         ~views:(C.Citation_view.Set.size (C.Engine.citation_views (engine t)))
         ~relations:(List.length (R.Database.relation_names db))
@@ -377,10 +404,81 @@ let accept_loop t =
 (* ------------------------------------------------------------------ *)
 (* Lifecycle                                                           *)
 
+(* Background snapshot cadence: wake often, snapshot when the interval
+   elapsed and the head advanced.  Exits as soon as the server leaves
+   Serving; [stop] joins it and writes the final drain snapshot
+   itself. *)
+let snapshot_loop t st =
+  let interval = t.config.snapshot_every_s in
+  let rec go last =
+    if serving t then
+      if Dc_clock.Monotonic.now_s () -. last >= interval then begin
+        (match
+           C.Metrics.with_sink
+             (C.Engine.metrics (engine t))
+             (fun () ->
+               Dc_storage.Store.write_snapshot st
+                 ~store:(C.Versioned_engine.store t.versioned)
+                 ~registrations:(C.Versioned_engine.registrations t.versioned))
+         with
+        | Ok v -> Log.debug (fun m -> m "background snapshot covers version %d" v)
+        | Error e -> Log.warn (fun m -> m "background snapshot failed: %s" e));
+        go (Dc_clock.Monotonic.now_s ())
+      end
+      else begin
+        Thread.delay 0.05;
+        go last
+      end
+  in
+  go (Dc_clock.Monotonic.now_s ())
+
 let start ?(config = default_config) eng =
   if config.domains < 1 then invalid_arg "Server.start: domains < 1";
   if config.version_cache < 1 then
     invalid_arg "Server.start: version_cache < 1";
+  (* Open (or initialize) durable backing before taking any socket: a
+     bad --data-dir must fail the whole start, with the storage
+     layer's contextual path+reason message. *)
+  let storage, recovered =
+    match config.data_dir with
+    | None -> (None, None)
+    | Some dir -> (
+        match
+          C.Metrics.with_sink (C.Engine.metrics eng) (fun () ->
+              Dc_storage.Store.open_ ~digest:C.Fixity.digest_db
+                ~fsync:config.fsync ~mode:config.recovery ~dir
+                ~db:(C.Engine.database eng) ())
+        with
+        | Error e -> failwith ("Server.start: " ^ e)
+        | Ok (st, r) -> (Some st, r))
+  in
+  let versioned =
+    C.Versioned_engine.of_engine ~capacity:config.version_cache
+      ?store:(Option.map (fun r -> r.Dc_storage.Store.store) recovered)
+      eng
+  in
+  Option.iter (C.Versioned_engine.set_durability versioned) storage;
+  (match recovered with
+  | None -> ()
+  | Some r ->
+      Log.info (fun m ->
+          m "recovered head %d from %s (%d delta(s) replayed, %d byte(s) of \
+             torn WAL tail discarded)"
+            (C.Versioned_engine.head versioned)
+            (Option.fold ~none:"?" ~some:Dc_storage.Store.dir storage)
+            r.Dc_storage.Store.replayed r.Dc_storage.Store.discarded_bytes);
+      (* Re-arm recovered registrations without re-logging them. *)
+      List.iter
+        (fun q ->
+          match Dc_cq.Parser.parse_query q with
+          | Error e ->
+              Log.warn (fun m -> m "cannot re-arm registration %S: %s" q e)
+          | Ok query -> (
+              match C.Versioned_engine.rearm versioned query with
+              | Ok () -> ()
+              | Error e ->
+                  Log.warn (fun m -> m "cannot re-arm registration %S: %s" q e)))
+        r.Dc_storage.Store.registrations);
   let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
      Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
@@ -410,8 +508,7 @@ let start ?(config = default_config) eng =
   let t =
     {
       shards = Atomic.make (C.Sharded_engine.of_engine ~shards:domains_eff eng);
-      versioned =
-        C.Versioned_engine.of_engine ~capacity:config.version_cache eng;
+      versioned;
       config;
       listen_fd;
       bound_port;
@@ -427,9 +524,19 @@ let start ?(config = default_config) eng =
       domains_eff;
       started_at = Dc_clock.Monotonic.now_s ();
       stop_requested = Atomic.make false;
+      storage;
+      snapshot_thread = None;
     }
   in
+  (* A recovered head > 0: the v1 shards were built over the engine's
+     own (version-0) database — rebuild them over the recovered head
+     before serving the first request. *)
+  if C.Versioned_engine.head t.versioned > 0 then refresh_shards t;
   t.accept_thread <- Some (Thread.create accept_loop t);
+  (match storage with
+  | Some st when config.snapshot_every_s > 0. ->
+      t.snapshot_thread <- Some (Thread.create (fun () -> snapshot_loop t st) ())
+  | _ -> ());
   if domains_eff < config.domains then
     Log.info (fun m ->
         m "only %d core(s) available: %d domain(s) requested, running %d"
@@ -486,6 +593,20 @@ let stop t =
     t.conn_threads <- [];
     Mutex.unlock t.mu;
     List.iter Thread.join threads;
+    (* 4. durable drain: final snapshot of whatever head we reached,
+       WAL synced and closed — the next start recovers instantly. *)
+    Option.iter Thread.join t.snapshot_thread;
+    (match t.storage with
+    | None -> ()
+    | Some st ->
+        (match
+           Dc_storage.Store.write_snapshot st
+             ~store:(C.Versioned_engine.store t.versioned)
+             ~registrations:(C.Versioned_engine.registrations t.versioned)
+         with
+        | Ok v -> Log.info (fun m -> m "drain snapshot covers version %d" v)
+        | Error e -> Log.warn (fun m -> m "drain snapshot failed: %s" e));
+        Dc_storage.Store.close st);
     Mutex.lock t.mu;
     t.state <- Stopped;
     Mutex.unlock t.mu;

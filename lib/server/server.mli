@@ -62,11 +62,30 @@ type config = {
   version_cache : int;
       (** LRU bound on materialized per-version engines for [CITE_AT]
           (the head engine is never evicted); minimum 1 *)
+  data_dir : string option;
+      (** durable backing ({!Dc_storage.Store}): [Some dir] arms the
+          write-ahead log and snapshots under [dir], recovering
+          whatever [dir] already holds at {!start}; [None] (default)
+          serves purely in-memory as before *)
+  fsync : Dc_storage.Store.fsync;
+      (** WAL sync policy with [data_dir]: [Always] (default — no
+          committed delta is ever lost), [Interval s] (bounded loss
+          window), or [Never] *)
+  snapshot_every_s : float;
+      (** background snapshot cadence with [data_dir]; [<= 0] disables
+          the background thread (a drain snapshot is still written on
+          {!stop}) *)
+  recovery : Dc_storage.Store.mode;
+      (** [Full] (default) replays the whole WAL so every version ever
+          committed is citable again; [Fast] restarts from the latest
+          snapshot only *)
 }
 
 val default_config : config
 (** [127.0.0.1:7421], 4 workers, queue 64, 30s timeout, 64KiB lines,
-    1 domain, 4 cached version engines. *)
+    1 domain, 4 cached version engines; durability off ([data_dir =
+    None]; once armed: fsync [Always], snapshots every 300s, [Full]
+    recovery). *)
 
 type t
 
@@ -74,7 +93,16 @@ val start : ?config:config -> Dc_citation.Engine.t -> t
 (** Binds, listens and returns immediately; serving happens on
     background threads.  The engine should have been created before
     [start] so materialization cost is paid at startup, not on the
-    first request. *)
+    first request.
+
+    With [config.data_dir = Some dir]: an empty [dir] is initialized
+    (the engine's database becomes version 0 on disk); a populated one
+    is {e recovered} — latest valid snapshot loaded, WAL suffix
+    replayed (torn tail truncated away), registered queries re-armed,
+    recovered state checked against its stored fixity digest — and the
+    server resumes serving every recovered version.  Raises [Failure]
+    with the storage layer's path+reason message when the data dir is
+    unusable or fails verification. *)
 
 val port : t -> int
 (** The actually-bound port (useful with [port = 0]). *)

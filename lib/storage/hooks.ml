@@ -1,0 +1,14 @@
+(* Instrumentation seams.  dc_storage sits below dc_citation (which owns
+   the Metrics registry), so, like [Dc_cq.Eval.on_event], it exposes
+   hook refs that metrics.ml points at its recorders when dc_citation is
+   linked.  Stand-alone use of the library leaves them as no-ops. *)
+
+let count : (string -> int -> unit) ref = ref (fun _ _ -> ())
+let time : (string -> (unit -> unit) -> unit) ref = ref (fun _ f -> f ())
+
+(* [timed name f] runs [f] under the time hook, threading its result
+   out (the hook's type is monomorphic in [unit]). *)
+let timed name f =
+  let r = ref None in
+  !time name (fun () -> r := Some (f ()));
+  match !r with Some v -> v | None -> assert false

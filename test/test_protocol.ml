@@ -227,6 +227,39 @@ let test_classify () =
         (contains {|"protocols":[1,2]|})
   | _ -> Alcotest.fail "ok_health is `Ok"
 
+(* v2 HEALTH: the prefixed command selects the durability-aware variant
+   while the bare spelling — and its response — stay byte-identical. *)
+let test_health_v2 () =
+  Alcotest.(check (result req string))
+    "bare HEALTH is v1" (Ok P.Health) (P.parse_request "HEALTH");
+  Alcotest.(check (result req string))
+    "V2 HEALTH selects the v2 variant" (Ok P.Health_v2)
+    (P.parse_request "V2 HEALTH");
+  Alcotest.(check (result req string))
+    "v2 health round trips" (Ok P.Health_v2)
+    (P.parse_request (P.render_request P.Health_v2));
+  check_err "v2 health with args" "V2 HEALTH please";
+  let v1 = P.ok_health ~uptime_s:1.5 ~views:3 ~relations:7 ~tuples:12 () in
+  let v1' =
+    (* omitting every durability field must not change a byte *)
+    P.ok_health ?data_dir:None ?wal_enabled:None ?last_snapshot_version:None
+      ~uptime_s:1.5 ~views:3 ~relations:7 ~tuples:12 ()
+  in
+  Alcotest.(check string) "v1 health byte-identical" v1 v1';
+  let v2 =
+    P.ok_health ~data_dir:"/data" ~wal_enabled:true ~last_snapshot_version:4
+      ~uptime_s:1.5 ~views:3 ~relations:7 ~tuples:12 ()
+  in
+  let contains sub =
+    let n = String.length v2 and m = String.length sub in
+    let rec at i = i + m <= n && (String.sub v2 i m = sub || at (i + 1)) in
+    at 0
+  in
+  Alcotest.(check bool) "data_dir" true (contains {|"data_dir":"/data"|});
+  Alcotest.(check bool) "wal_enabled" true (contains {|"wal_enabled":true|});
+  Alcotest.(check bool) "last_snapshot_version" true
+    (contains {|"last_snapshot_version":4|})
+
 let suite =
   [
     Alcotest.test_case "round trips" `Quick test_roundtrips;
@@ -239,4 +272,5 @@ let suite =
     test_roundtrip_prop;
     Alcotest.test_case "error lines" `Quick test_error_line;
     Alcotest.test_case "classify responses" `Quick test_classify;
+    Alcotest.test_case "v2 health" `Quick test_health_v2;
   ]
