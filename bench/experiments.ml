@@ -1227,6 +1227,76 @@ let e16 () =
           St.close st;
           rm_rf dir)
   in
+  (* Part 4: group commit — concurrent Always appenders share fsync
+     barriers, narrowing the gap to Never as concurrency grows.  Raw WAL
+     appends (the engine serializes whole commits per store, so the
+     coalescing lives below it); every row verifies all records recover. *)
+  subhr "group commit: concurrent Always appenders share fsync barriers";
+  let gc_appends = 100 in
+  let gc_row (threads, label, fsync) =
+    let dir = fresh_dir () in
+    let path = Filename.concat dir "wal.log" in
+    let w = ok "wal create" (Dc_storage.Wal.create ~path ~fsync) in
+    let fsyncs = Atomic.make 0 in
+    let old_count = !Dc_storage.Hooks.count in
+    (Dc_storage.Hooks.count :=
+       fun name n ->
+         if name = "wal_fsyncs" then Atomic.incr fsyncs;
+         old_count name n);
+    let _, total_ms =
+      time_ms (fun () ->
+          let ts =
+            List.init threads (fun k ->
+                Thread.create
+                  (fun () ->
+                    for i = 0 to gc_appends - 1 do
+                      ok "append"
+                        (Dc_storage.Wal.append w
+                           (Dc_storage.Wal.Register
+                              (Printf.sprintf "Q%d_%d(X) :- R(X)" k i)))
+                    done)
+                  ())
+          in
+          List.iter Thread.join ts)
+    in
+    Dc_storage.Hooks.count := old_count;
+    Dc_storage.Wal.close w;
+    let scan = ok "scan" (Dc_storage.Wal.scan_file ~schemas:[] path) in
+    let total = threads * gc_appends in
+    if List.length scan.Dc_storage.Wal.records <> total then
+      failwith "E16: group-commit appends lost";
+    rm_rf dir;
+    let fs = Atomic.get fsyncs in
+    let per_barrier =
+      if fs = 0 then float_of_int total else float_of_int total /. float_of_int fs
+    in
+    let per_s = float_of_int total /. (total_ms /. 1000.) in
+    (threads, label, total, fs, per_barrier, per_s)
+  in
+  let gc_rows =
+    List.map gc_row
+      [
+        (1, "always", St.Always);
+        (4, "always", St.Always);
+        (8, "always", St.Always);
+        (8, "never", St.Never);
+      ]
+  in
+  let widths = [ 9; 8; 9; 8; 14; 11 ] in
+  header widths
+    [ "threads"; "fsync"; "appends"; "fsyncs"; "appends/fsync"; "appends/s" ];
+  List.iter
+    (fun (threads, label, total, fs, per_barrier, per_s) ->
+      row widths
+        [
+          string_of_int threads;
+          label;
+          string_of_int total;
+          string_of_int fs;
+          Printf.sprintf "%.1f" per_barrier;
+          Printf.sprintf "%.0f" per_s;
+        ])
+    gc_rows;
   write_bench_json ~experiment:"E16"
     [
       ( "params",
@@ -1267,6 +1337,20 @@ let e16 () =
             ("in_memory_per_s", Printf.sprintf "%.0f" mem_ops);
             ("durable_per_s", Printf.sprintf "%.0f" dur_ops);
           ] );
+      ( "group_commit",
+        json_list
+          (List.map
+             (fun (threads, label, total, fs, per_barrier, per_s) ->
+               json_obj
+                 [
+                   ("threads", string_of_int threads);
+                   ("fsync", json_str label);
+                   ("appends", string_of_int total);
+                   ("fsyncs", string_of_int fs);
+                   ("appends_per_fsync", Printf.sprintf "%.1f" per_barrier);
+                   ("appends_per_s", Printf.sprintf "%.0f" per_s);
+                 ])
+             gc_rows) );
     ];
   Printf.printf
     "(expected: commit cost none ~= never < interval < always — the gap to\n\
@@ -1274,4 +1358,181 @@ let e16 () =
      recovery replays the whole WAL at >= 10k deltas/s while fast replays\n\
      only the suffix past the latest snapshot; warm cite throughput is\n\
      unchanged with the store attached because citation never touches\n\
-     storage — only commits and registrations append to the WAL.)\n"
+     storage — only commits and registrations append to the WAL; group\n\
+     commit raises appends/fsync well above 1 as Always appenders pile\n\
+     up, closing part of the gap to never at no durability cost.)\n"
+
+(* E18: server throughput with pipelining and batching.
+
+   The reactor core admits many requests per connection before any
+   response is read, so the per-request cost stops being dominated by
+   network round trips.  Same database and workload as E13 (500
+   families, 5 CITE templates); rows sweep wire mode x client count and
+   report rps + tail latency.  A final overload run drives a deliberately
+   tiny server (1 worker, queue of 2, max_pipeline 4) far past capacity
+   and shows that every excess request is answered with BUSY — shed, not
+   hung. *)
+let e18 () =
+  hr "E18: pipelined + batched server throughput (vs E13 request/response)";
+  let db = G.generate ~seed:5 ~config:(families 500) () in
+  let eng = C.Engine.create db Dc_gtopdb.Paper_views.all in
+  (* queue sized above clients x depth so the measurement server never
+     sheds; deliberate overload gets its own tiny server below *)
+  let config =
+    {
+      Dc_server.Server.default_config with
+      port = 0;
+      workers = 4;
+      queue_capacity = 512;
+    }
+  in
+  let server = Dc_server.Server.start ~config eng in
+  let port = Dc_server.Server.port server in
+  let workload =
+    [
+      "CITE Q(N) :- Family(2,N,T)";
+      "CITE Q(I,N) :- Family(I,N,\"gpcr\")";
+      "CITE Q(I,T) :- Family(I,\"FamilyName3\",T)";
+      "CITE Q(I,N,T) :- Family(I,N,T), FamilyIntro(I,X)";
+      "CITE Q(X) :- FamilyIntro(4,X)";
+    ]
+  in
+  let requests_per_client = 200 in
+  let run_mode ~clients mode =
+    Dc_server.Client.Load.run ~port ~clients ~requests_per_client
+      ~requests:workload ~mode ()
+  in
+  (* warm the engine caches so mode rows compare steady-state service *)
+  ignore (run_mode ~clients:2 Dc_server.Client.Load.Sequential);
+  let modes =
+    [
+      ("sequential", Dc_server.Client.Load.Sequential);
+      ("pipelined:8", Dc_server.Client.Load.Pipelined 8);
+      ("pipelined:32", Dc_server.Client.Load.Pipelined 32);
+      ("batched:16", Dc_server.Client.Load.Batched 16);
+      ("batched:64", Dc_server.Client.Load.Batched 64);
+    ]
+  in
+  let widths = [ 14; 8; 9; 7; 10; 9; 9; 9 ] in
+  header widths
+    [ "mode"; "clients"; "requests"; "errors"; "rps"; "p50 ms"; "p95 ms"; "p99 ms" ];
+  let rows =
+    List.concat_map
+      (fun (name, mode) ->
+        List.map
+          (fun clients ->
+            let s = run_mode ~clients mode in
+            row widths
+              [
+                name;
+                string_of_int clients;
+                string_of_int s.Dc_server.Client.Load.requests;
+                string_of_int s.errors;
+                Printf.sprintf "%.0f" s.throughput_rps;
+                ms s.p50_ms;
+                ms s.p95_ms;
+                ms s.p99_ms;
+              ];
+            (name, clients, s))
+          [ 1; 4; 8 ])
+      modes
+  in
+  Dc_server.Server.stop server;
+  (* only error-free rows count — rps with BUSY sheds in it is cheap *)
+  let best_of pred =
+    List.fold_left
+      (fun acc (name, _, s) ->
+        if
+          pred name && s.Dc_server.Client.Load.errors = 0
+          && s.Dc_server.Client.Load.throughput_rps > acc
+        then s.Dc_server.Client.Load.throughput_rps
+        else acc)
+      0. rows
+  in
+  let baseline_rps = best_of (fun n -> n = "sequential") in
+  let best_rps = best_of (fun n -> n <> "sequential") in
+  let speedup = if baseline_rps > 0. then best_rps /. baseline_rps else 0. in
+  (* The request/response server this core replaced: thread-per-connection
+     blocking reads, measured on the same workload in the same container
+     class (EXPERIMENTS.md, E13 table, best row).  The old code is gone,
+     so the recorded figure is the only equal-cores baseline left. *)
+  let e13_recorded_rps = 545. in
+  let speedup_vs_e13 = best_rps /. e13_recorded_rps in
+  Printf.printf "\nbaseline (best sequential)      %.0f rps\n" baseline_rps;
+  Printf.printf "best pipelined/batched          %.0f rps\n" best_rps;
+  Printf.printf "speedup vs sequential           %.1fx\n" speedup;
+  Printf.printf "speedup vs recorded E13 (545)   %.1fx\n" speedup_vs_e13;
+  (* Overload: a deliberately tiny server driven far past capacity.  The
+     healthy outcome is BUSY sheds — every request answered, none hung. *)
+  subhr "overload: 1 worker, queue 2, max_pipeline 4, driven at depth 64";
+  let tiny =
+    Dc_server.Server.start
+      ~config:
+        {
+          Dc_server.Server.default_config with
+          port = 0;
+          workers = 1;
+          queue_capacity = 2;
+          max_pipeline = 4;
+        }
+      eng
+  in
+  let o =
+    Dc_server.Client.Load.run
+      ~port:(Dc_server.Server.port tiny)
+      ~clients:4 ~requests_per_client:200 ~requests:workload
+      ~mode:(Dc_server.Client.Load.Pipelined 64) ()
+  in
+  Dc_server.Server.stop tiny;
+  Printf.printf "requests %d, busy %d, non-busy errors %d, rps %.0f\n"
+    o.Dc_server.Client.Load.requests o.busy (o.errors - o.busy)
+    o.throughput_rps;
+  if o.requests <> 800 then failwith "E18: overload run lost requests";
+  write_bench_json ~experiment:"E18"
+    [
+      ( "params",
+        json_obj
+          [
+            ("families", "500");
+            ("workers", "4");
+            ("requests_per_client", string_of_int requests_per_client);
+          ] );
+      ( "rows",
+        json_list
+          (List.map
+             (fun (name, clients, s) ->
+               json_obj
+                 [
+                   ("mode", json_str name);
+                   ("clients", string_of_int clients);
+                   ("requests", string_of_int s.Dc_server.Client.Load.requests);
+                   ("errors", string_of_int s.errors);
+                   ("busy", string_of_int s.busy);
+                   ("rps", Printf.sprintf "%.0f" s.throughput_rps);
+                   ("p50_ms", json_ms s.p50_ms);
+                   ("p95_ms", json_ms s.p95_ms);
+                   ("p99_ms", json_ms s.p99_ms);
+                 ])
+             rows) );
+      ("baseline_rps", Printf.sprintf "%.0f" baseline_rps);
+      ("best_rps", Printf.sprintf "%.0f" best_rps);
+      ("speedup", Printf.sprintf "%.2f" speedup);
+      ("e13_recorded_rps", Printf.sprintf "%.0f" e13_recorded_rps);
+      ("speedup_vs_e13", Printf.sprintf "%.2f" speedup_vs_e13);
+      ( "overload",
+        json_obj
+          [
+            ("requests", string_of_int o.requests);
+            ("busy", string_of_int o.busy);
+            ("non_busy_errors", string_of_int (o.errors - o.busy));
+            ("rps", Printf.sprintf "%.0f" o.throughput_rps);
+          ] );
+    ];
+  Printf.printf
+    "(expected: the reactor core clears >= 5x the recorded E13 baseline\n\
+     (545 rps, thread-per-connection server, same workload and container\n\
+     class) even sequentially; pipelining/batching add on top of that,\n\
+     bounded on few-core hosts where client and server share the CPU and\n\
+     service is compute-bound; p99 stays bounded; the overload run\n\
+     answers all 800 requests, the excess as BUSY sheds, with zero hangs\n\
+     or non-BUSY failures.)\n"

@@ -115,6 +115,7 @@ let () =
       ("E14", Experiments.e14);
       ("E15", Experiments.e15);
       ("E16", Experiments.e16);
+      ("E18", Experiments.e18);
     ]
   in
   let to_run =

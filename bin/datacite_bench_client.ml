@@ -33,6 +33,21 @@ let query_arg =
   in
   Arg.(value & opt_all string [] & info [ "query"; "q" ] ~docv:"LINE" ~doc)
 
+let pipeline_arg =
+  let doc =
+    "Pipeline depth: keep up to $(docv) requests on the wire per connection \
+     before reading responses (responses come back in request order)."
+  in
+  Arg.(value & opt (some int) None & info [ "pipeline" ] ~docv:"DEPTH" ~doc)
+
+let batch_arg =
+  let doc =
+    "Send CITE queries as CITE_BATCH frames of $(docv) queries each \
+     (workload lines are stripped of their CITE verb).  Mutually exclusive \
+     with --pipeline."
+  in
+  Arg.(value & opt (some int) None & info [ "batch" ] ~docv:"SIZE" ~doc)
+
 (* Query.to_string may break long queries across lines; the protocol is
    line-delimited, so flatten. *)
 let flatten s = String.map (fun c -> if c = '\n' then ' ' else c) s
@@ -42,19 +57,31 @@ let default_workload =
     (fun q -> "CITE " ^ flatten (Dc_cq.Query.to_string q))
     Dc_gtopdb.Workload.templates
 
-let run host port clients requests queries =
+let run host port clients requests queries pipeline batch =
   let workload = if queries = [] then default_workload else queries in
+  let mode, mode_name =
+    match (pipeline, batch) with
+    | Some _, Some _ ->
+        prerr_endline
+          "datacite-bench-client: --pipeline and --batch are mutually \
+           exclusive";
+        exit 1
+    | Some d, None -> (S.Client.Load.Pipelined d, Printf.sprintf "pipelined:%d" d)
+    | None, Some b -> (S.Client.Load.Batched b, Printf.sprintf "batched:%d" b)
+    | None, None -> (S.Client.Load.Sequential, "sequential")
+  in
   let stats =
     try
       S.Client.Load.run ~host ~port ~clients ~requests_per_client:requests
-        ~requests:workload ()
+        ~requests:workload ~mode ()
     with Unix.Unix_error (e, _, _) ->
       Printf.eprintf "datacite-bench-client: cannot reach %s:%d (%s)\n" host
         port (Unix.error_message e);
       exit 1
   in
-  Printf.printf "clients          %d\n" clients;
-  Printf.printf "requests         %d (%d errors)\n" stats.requests stats.errors;
+  Printf.printf "clients          %d (%s)\n" clients mode_name;
+  Printf.printf "requests         %d (%d errors, %d busy)\n" stats.requests
+    stats.errors stats.busy;
   Printf.printf "elapsed          %.3f s\n" stats.elapsed_s;
   Printf.printf "throughput       %.1f req/s\n" stats.throughput_rps;
   Printf.printf "latency p50      %.3f ms\n" stats.p50_ms;
@@ -63,14 +90,19 @@ let run host port clients requests queries =
   Printf.printf "latency max      %.3f ms\n" stats.max_ms;
   Printf.printf "METRICS %s\n"
     (S.Client.Load.to_json
-       ~extra:[ ("clients", string_of_int clients) ]
+       ~extra:
+         [
+           ("clients", string_of_int clients);
+           ("mode", Printf.sprintf "%S" mode_name);
+         ]
        stats);
   if stats.errors > 0 then exit 2
 
 let () =
   let term =
     Term.(
-      const run $ host_arg $ port_arg $ clients_arg $ requests_arg $ query_arg)
+      const run $ host_arg $ port_arg $ clients_arg $ requests_arg $ query_arg
+      $ pipeline_arg $ batch_arg)
   in
   let info =
     Cmd.info "datacite-bench-client" ~version:"1.0.0"

@@ -80,11 +80,42 @@ let domains_arg =
     & info [ "domains" ] ~docv:"N" ~doc)
 
 let queue_arg =
-  let doc = "Pending-request queue bound before load shedding." in
+  let doc =
+    "Pending-request queue bound; past it requests are shed with the \
+     single line ERR {\"error\":\"BUSY\"}."
+  in
   Arg.(
     value
     & opt int S.Server.default_config.queue_capacity
     & info [ "queue" ] ~docv:"N" ~doc)
+
+let max_pipeline_arg =
+  let doc =
+    "In-flight (unanswered) requests allowed per connection before further \
+     ones are shed with BUSY.  Responses always return in request order, \
+     so clients may pipeline up to this deep."
+  in
+  Arg.(
+    value
+    & opt int S.Server.default_config.max_pipeline
+    & info [ "max-pipeline" ] ~docv:"N" ~doc)
+
+let max_batch_arg =
+  let doc = "Largest accepted CITE_BATCH count." in
+  Arg.(
+    value
+    & opt int S.Server.default_config.max_batch
+    & info [ "max-batch" ] ~docv:"N" ~doc)
+
+let conn_buffer_arg =
+  let doc =
+    "Unflushed response bytes buffered per connection before the server \
+     stops reading it until the client drains (flow control, not an error)."
+  in
+  Arg.(
+    value
+    & opt int S.Server.default_config.conn_buffer_bytes
+    & info [ "conn-buffer" ] ~docv:"BYTES" ~doc)
 
 let version_cache_arg =
   let doc =
@@ -181,8 +212,8 @@ let recovery_arg =
     & opt (conv (parse, print)) S.Server.default_config.recovery
     & info [ "recovery" ] ~docv:"MODE" ~doc)
 
-let run data views demo host port workers domains queue version_cache timeout
-    data_dir fsync snapshot_every recovery =
+let run data views demo host port workers domains queue max_pipeline max_batch
+    conn_buffer version_cache timeout data_dir fsync snapshot_every recovery =
   let db, cvs =
     if demo then
       (Dc_gtopdb.Paper_views.example_database (), Dc_gtopdb.Paper_views.all)
@@ -203,6 +234,9 @@ let run data views demo host port workers domains queue version_cache timeout
       workers;
       domains;
       queue_capacity = queue;
+      max_pipeline;
+      max_batch;
+      conn_buffer_bytes = conn_buffer;
       version_cache;
       request_timeout_s = timeout;
       data_dir;
@@ -230,9 +264,9 @@ let () =
   let term =
     Term.(
       const run $ data_arg $ views_arg $ demo_arg $ host_arg $ port_arg
-      $ workers_arg $ domains_arg $ queue_arg $ version_cache_arg
-      $ timeout_arg $ data_dir_arg $ fsync_arg $ snapshot_every_arg
-      $ recovery_arg)
+      $ workers_arg $ domains_arg $ queue_arg $ max_pipeline_arg
+      $ max_batch_arg $ conn_buffer_arg $ version_cache_arg $ timeout_arg
+      $ data_dir_arg $ fsync_arg $ snapshot_every_arg $ recovery_arg)
   in
   let info =
     Cmd.info "datacite-server" ~version:"1.0.0"

@@ -17,6 +17,8 @@ module Key = struct
   let server_requests = "server_requests"
   let server_errors = "server_errors"
   let server_queue_depth = "server_queue_depth"
+  let server_busy_sheds = "server_busy_sheds"
+  let server_batches = "server_batches"
   let version_commits = "version_commits"
   let version_cache_hits = "version_cache_hits"
   let version_cache_misses = "version_cache_misses"
@@ -24,6 +26,7 @@ module Key = struct
   let registrations_maintained = "registrations_maintained"
   let wal_appends = "wal_appends"
   let wal_fsyncs = "wal_fsyncs"
+  let wal_group_commits = "wal_group_commits"
   let snapshots_written = "snapshots_written"
   let recovery_replayed_deltas = "recovery_replayed_deltas"
 
@@ -44,6 +47,8 @@ module Key = struct
       server_requests;
       server_errors;
       server_queue_depth;
+      server_busy_sheds;
+      server_batches;
       version_commits;
       version_cache_hits;
       version_cache_misses;
@@ -51,6 +56,7 @@ module Key = struct
       registrations_maintained;
       wal_appends;
       wal_fsyncs;
+      wal_group_commits;
       snapshots_written;
       recovery_replayed_deltas;
     ]

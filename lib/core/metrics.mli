@@ -77,6 +77,15 @@ module Key : sig
   (** High-water mark of the server's worker-pool queue (maintained
       with {!record_max}, so still monotonic between resets). *)
 
+  val server_busy_sheds : string
+  (** Requests shed with the [BUSY] line instead of queueing — the
+      pending-request queue or a connection's pipeline bound was full.
+      A subset of {!server_errors}. *)
+
+  val server_batches : string
+  (** [CITE_BATCH] requests executed (each answering many queries
+      against one shard/version pick). *)
+
   val version_commits : string
   (** Deltas committed through a {!Versioned_engine}. *)
 
@@ -101,8 +110,15 @@ module Key : sig
 
   val wal_fsyncs : string
   (** fsync(2) calls issued by the WAL writer — [Always] makes this
-      track {!wal_appends}; [Interval]/[Never] keep it far below.  The
-      time spent is under the [wal_fsync] timer. *)
+      track {!wal_appends} under serial load, while group commit keeps
+      it below {!wal_appends} under concurrent load; [Interval]/[Never]
+      keep it far below.  The time spent is under the [wal_fsync]
+      timer. *)
+
+  val wal_group_commits : string
+  (** fsyncs that covered more than one [Always] append — concurrent
+      committers coalesced into a single barrier by the WAL's group
+      commit. *)
 
   val snapshots_written : string
   (** Binary snapshots written (background cadence, graceful drain, or

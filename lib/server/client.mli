@@ -1,5 +1,5 @@
 (** Blocking client for the citation server, plus the load generator
-    behind [datacite_bench_client] and bench experiment E13. *)
+    behind [datacite_bench_client] and bench experiments E13/E18. *)
 
 type t
 
@@ -10,12 +10,33 @@ val request : t -> string -> string option
 (** Send one request line, read one response line; [None] when the
     server closed the connection. *)
 
+val send : t -> string -> unit
+(** Queue one line (no flush) — the pipelining primitive: queue many,
+    {!flush_out} once, then {!recv} the responses in request order. *)
+
+val flush_out : t -> unit
+
+val recv : t -> string option
+(** Read one response line; [None] when the server closed the
+    connection. *)
+
 val close : t -> unit
 
 module Load : sig
+  type mode =
+    | Sequential  (** one request on the wire at a time (the v1 shape) *)
+    | Pipelined of int
+        (** keep a sliding window of [depth] unanswered requests per
+            connection; per-request latency from its own send time *)
+    | Batched of int
+        (** frame every [size] requests as one [CITE_BATCH] (workload
+            lines are stripped of their [CITE ] verb); per-query
+            latency is the whole batch's round trip *)
+
   type stats = {
     requests : int;
     errors : int;  (** [ERR], malformed, or dropped responses *)
+    busy : int;  (** the subset of [errors] that were BUSY sheds *)
     elapsed_s : float;
     throughput_rps : float;
     p50_ms : float;
@@ -30,12 +51,14 @@ module Load : sig
     clients:int ->
     requests_per_client:int ->
     requests:string list ->
+    ?mode:mode ->
     unit ->
     stats
   (** Open [clients] concurrent connections; each issues
       [requests_per_client] request lines drawn round-robin (with a
-      per-client offset) from [requests], timing every round trip.
-      Latency percentiles are nearest-rank over all requests. *)
+      per-client offset) from [requests] under [mode] (default
+      {!Sequential}), timing every request.  Latency percentiles are
+      nearest-rank over all requests. *)
 
   val to_json : ?extra:(string * string) list -> stats -> string
   (** One-line JSON for METRICS output; [extra] fields are prepended

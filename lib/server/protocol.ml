@@ -3,6 +3,7 @@ module C = Dc_citation
 
 type request =
   | Cite of string
+  | Cite_batch of string list
   | Cite_param of { view : string; bindings : (string * R.Value.t) list }
   | Cite_at of { version : int; query : string }
   | Commit_delta of R.Delta.t
@@ -76,6 +77,13 @@ let parse_command ~v2 line =
   let cmd, rest = split_first line in
   match String.uppercase_ascii cmd with
   | "CITE" -> if rest = "" then Error "CITE: missing query" else Ok (Cite rest)
+  | "CITE_BATCH" ->
+      (* The batch wire form is multi-line ([CITE_BATCH n] then [n] query
+         lines); a lone header reaching the single-line parser means the
+         caller is not running the incremental {!Decoder}. *)
+      Error
+        "CITE_BATCH: multi-line request (header then n query lines) — only \
+         framed connections accept it"
   | "CITE_PARAM" ->
       let view, kvs = split_first rest in
       if view = "" then Error "CITE_PARAM: missing view name"
@@ -118,8 +126,8 @@ let parse_command ~v2 line =
   | other ->
       Error
         (Printf.sprintf
-           "unknown command %S (want CITE, CITE_PARAM, CITE_AT, COMMIT_DELTA, \
-            VERSIONS, VERIFY, REGISTER, STATS, HEALTH or QUIT)"
+           "unknown command %S (want CITE, CITE_BATCH, CITE_PARAM, CITE_AT, \
+            COMMIT_DELTA, VERSIONS, VERIFY, REGISTER, STATS, HEALTH or QUIT)"
            other)
 
 let parse_request line =
@@ -134,6 +142,11 @@ let parse_request line =
 
 let render_request = function
   | Cite q -> "CITE " ^ q
+  | Cite_batch qs ->
+      (* Multi-line: the header then one query per line.  Only the
+         incremental {!Decoder} re-parses this form. *)
+      Printf.sprintf "CITE_BATCH %d\n%s" (List.length qs)
+        (String.concat "\n" qs)
   | Cite_param { view; bindings } ->
       let kvs =
         String.concat ","
@@ -184,6 +197,10 @@ let obj fields =
 let err_prefix = "ERR "
 
 let error_line msg = err_prefix ^ obj [ ("error", jstr (one_line msg)) ]
+
+(* Load shedding: the one ERR payload clients are expected to branch on
+   (retry later), so it is a fixed token rather than prose. *)
+let busy_line = error_line "BUSY"
 
 let ok_cite ?version ?timestamp ?digest ?from_registration ~query ~expr
     ~citations ~complete ~tuples ~rewritings ~ms () =
@@ -313,3 +330,130 @@ let classify_response line =
     `Err (String.sub line 4 (String.length line - 4))
   else if starts_with "{" then `Ok line
   else `Malformed
+
+let is_busy_response line =
+  match classify_response line with
+  | `Err payload -> payload = obj [ ("error", jstr "BUSY") ]
+  | `Ok _ | `Malformed -> false
+
+(* ------------------------------------------------------------------ *)
+(* Incremental decoder                                                 *)
+
+module Decoder = struct
+  type item = (request, string) result
+
+  type t = {
+    buf : Buffer.t;  (** the partial line not yet terminated by [\n] *)
+    max_line_bytes : int;
+    max_batch : int;
+    mutable skipping : bool;
+        (** an oversized line was rejected; discard bytes up to the next
+            [\n] so framing resynchronizes on the line after it *)
+    mutable batch : (int * string list) option;
+        (** a [CITE_BATCH n] header was consumed: queries still missing,
+            queries collected so far (reversed) *)
+  }
+
+  let create ?(max_line_bytes = 1 lsl 16) ?(max_batch = 1024) () =
+    if max_line_bytes < 1 then invalid_arg "Decoder.create: max_line_bytes < 1";
+    if max_batch < 1 then invalid_arg "Decoder.create: max_batch < 1";
+    {
+      buf = Buffer.create 256;
+      max_line_bytes;
+      max_batch;
+      skipping = false;
+      batch = None;
+    }
+
+  let pending_bytes t = Buffer.length t.buf
+  let in_batch t = t.batch <> None
+
+  (* Like {!parse_request}, the header is recognized through an optional
+     [V2] prefix. *)
+  let batch_header line =
+    let line = String.trim (strip_cr line) in
+    let cmd, rest = split_first line in
+    let cmd, rest =
+      if String.uppercase_ascii cmd = "V2" then split_first rest
+      else (cmd, rest)
+    in
+    if String.uppercase_ascii cmd = "CITE_BATCH" then Some (String.trim rest)
+    else None
+
+  (* One complete line (no [\n]).  [None] = the line was consumed into
+     batch state and produced no item yet. *)
+  let on_line t line =
+    match t.batch with
+    | Some (missing, qs) ->
+        let q = String.trim (strip_cr line) in
+        if q = "" then begin
+          (* An empty query line can only be a client bug; abandoning the
+             batch here keeps the next line a fresh command instead of
+             silently mis-counting. *)
+          t.batch <- None;
+          Some (Error "CITE_BATCH: empty query line")
+        end
+        else if missing = 1 then begin
+          t.batch <- None;
+          Some (Ok (Cite_batch (List.rev (q :: qs))))
+        end
+        else begin
+          t.batch <- Some (missing - 1, q :: qs);
+          None
+        end
+    | None -> (
+        match batch_header line with
+        | None -> Some (parse_request line)
+        | Some count -> (
+            match int_of_string_opt count with
+            | None ->
+                Some (Error (Printf.sprintf "CITE_BATCH: bad count %S" count))
+            | Some n when n < 1 ->
+                Some (Error "CITE_BATCH: count must be >= 1")
+            | Some n when n > t.max_batch ->
+                Some
+                  (Error
+                     (Printf.sprintf
+                        "CITE_BATCH: count %d exceeds the batch limit %d" n
+                        t.max_batch))
+            | Some n ->
+                t.batch <- Some (n, []);
+                None))
+
+  let feed_sub t data ~pos ~len =
+    if pos < 0 || len < 0 || pos + len > Bytes.length data then
+      invalid_arg "Decoder.feed_sub";
+    let acc = ref [] in
+    for i = pos to pos + len - 1 do
+      match Bytes.get data i with
+      | '\n' ->
+          if t.skipping then begin
+            t.skipping <- false;
+            Buffer.clear t.buf
+          end
+          else begin
+            let line = Buffer.contents t.buf in
+            Buffer.clear t.buf;
+            match on_line t line with
+            | Some item -> acc := item :: !acc
+            | None -> ()
+          end
+      | c ->
+          if not t.skipping then begin
+            Buffer.add_char t.buf c;
+            if Buffer.length t.buf > t.max_line_bytes then begin
+              (* Reject now rather than buffering an unbounded line; the
+                 rest of the line is discarded up to its [\n].  A batch
+                 being collected cannot survive losing a line. *)
+              t.skipping <- true;
+              Buffer.clear t.buf;
+              t.batch <- None;
+              acc := Error "request line too long" :: !acc
+            end
+          end
+    done;
+    List.rev !acc
+
+  let feed t s =
+    feed_sub t (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)
+end

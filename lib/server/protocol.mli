@@ -7,6 +7,7 @@
 
     {v
       request   ::= [ "V2" ] command
+                  | batch
       command   ::= "CITE" query
                   | "CITE_PARAM" view [ binding { "," binding } ]
                   | "CITE_AT" version query          (v2)
@@ -15,9 +16,14 @@
                   | "VERIFY" version digest          (v2)
                   | "REGISTER" query                 (v2)
                   | "STATS" | "HEALTH" | "QUIT"
+      batch     ::= [ "V2" ] "CITE_BATCH" count NL query { NL query }
+                    (exactly count query lines follow the header;
+                     the server answers with count response lines,
+                     one per query, in order)
       binding   ::= name "=" scalar
       change    ::= ("+" | "-") relation "(" scalar { "," scalar } ")"
       version   ::= integer
+      count     ::= integer >= 1 (bounded by the decoder's max_batch)
       digest    ::= hex token (no spaces)
       query     ::= conjunctive query text, e.g. Q(X) :- R(X,Y)
     v}
@@ -31,11 +37,25 @@
     [Str]; consequently delta values containing [,;()] are outside the
     line format.
 
+    [CITE_BATCH] is the one multi-line request: its header announces how
+    many query lines follow, and the server resolves its shard/version
+    once for the whole batch.  Because it spans lines it is parsed only
+    by the incremental {!Decoder} (the framing layer connections run);
+    {!parse_request}, which sees a single line, rejects a stray header.
+
     Responses are single lines too: success is a JSON object starting
-    with [{], failure is [ERR {"error":"..."}].  The [HEALTH] response
-    carries a [protocol]/[protocols] handshake so clients can discover
-    what the server speaks.  A trailing [\r] (telnet / [nc -C] clients)
-    is tolerated on requests.
+    with [{], failure is [ERR {"error":"..."}].  An overloaded server
+    sheds a request with the fixed line {!busy_line}
+    ([ERR {"error":"BUSY"}]) — the one ERR payload worth branching on
+    (back off and retry) — instead of queueing unboundedly.  The
+    [HEALTH] response carries a [protocol]/[protocols] handshake so
+    clients can discover what the server speaks.  A trailing [\r]
+    (telnet / [nc -C] clients) is tolerated on requests.
+
+    The protocol is {e pipelined}: clients may write any number of
+    requests before reading answers, and the server preserves
+    per-connection response order, so the k-th response line always
+    answers the k-th request.
 
     [parse_request] is total — any byte sequence yields [Ok] or [Error],
     never an exception — which keeps the codec fuzz-friendly and means a
@@ -43,6 +63,10 @@
 
 type request =
   | Cite of string  (** cite a Datalog query, e.g. [Q(X) :- R(X,Y)] *)
+  | Cite_batch of string list
+      (** the [CITE_BATCH n] multi-line form: cite every query against
+          one shard/version pick, answering [n] response lines in
+          order.  Assembled only by the incremental {!Decoder}. *)
   | Cite_param of {
       view : string;
       bindings : (string * Dc_relational.Value.t) list;
@@ -79,7 +103,9 @@ val render_request : request -> string
 (** Inverse of {!parse_request} up to whitespace and scalar formatting
     (an integer-shaped string value re-parses as an [Int]).  v1
     commands render in v1 form, v2-introduced commands render with the
-    [V2] prefix; both re-parse to the same request. *)
+    [V2] prefix; both re-parse to the same request.  [Cite_batch]
+    renders the multi-line wire form (header then query lines), whose
+    inverse is the {!Decoder}, not {!parse_request}. *)
 
 val render_delta : Dc_relational.Delta.t -> string
 (** The COMMIT_DELTA payload: [+Rel(v,...)] / [-Rel(v,...)] changes
@@ -143,8 +169,56 @@ val error_line : string -> string
 (** [ERR {"error":"<msg>"}] with the message JSON-escaped and squashed
     to one line. *)
 
+val busy_line : string
+(** The load-shedding response, [ERR {"error":"BUSY"}]: the server's
+    pending-request queue (or a connection's pipeline bound) is full,
+    the request was {e not} executed, back off and retry. *)
+
 val classify_response :
   string -> [ `Ok of string | `Err of string | `Malformed ]
 (** Client-side triage: [`Ok json] for a success object, [`Err json]
     for an [ERR] line (payload without the prefix), [`Malformed] for
     anything else. *)
+
+val is_busy_response : string -> bool
+(** Whether a response line is exactly the {!busy_line} shed. *)
+
+(** {2 Incremental decoder}
+
+    The framing layer connections run: bytes in, framed requests out.
+    Feed it whatever a read returned — any split, down to one byte at a
+    time — and it yields each request exactly once, in arrival order,
+    as soon as its last byte is seen.  Lines end at [\n] ([\r\n]
+    tolerated); a line longer than [max_line_bytes] costs one
+    [Error "request line too long"] item and is discarded up to its
+    terminator, so framing resynchronizes on the next line (a
+    [CITE_BATCH] being collected is abandoned with it).  [CITE_BATCH]
+    headers switch the decoder into collection: the [n] following lines
+    are taken verbatim as queries (not parsed as commands) and emitted
+    as one [Cite_batch] item. *)
+
+module Decoder : sig
+  type t
+
+  type item = (request, string) result
+  (** [Error] items are per-request parse/framing failures — each costs
+      exactly one [ERR] line on the wire, like {!parse_request}
+      errors. *)
+
+  val create : ?max_line_bytes:int -> ?max_batch:int -> unit -> t
+  (** Defaults: 64 KiB lines, batches of at most 1024 queries. *)
+
+  val feed : t -> string -> item list
+  (** Consume a chunk of received bytes, returning every request
+      completed by it (possibly none, possibly many). *)
+
+  val feed_sub : t -> bytes -> pos:int -> len:int -> item list
+  (** {!feed} on a byte-buffer slice (what a [Unix.read] filled). *)
+
+  val pending_bytes : t -> int
+  (** Bytes buffered for the current partial line. *)
+
+  val in_batch : t -> bool
+  (** Whether a [CITE_BATCH] header was seen and its query lines are
+      still being collected. *)
+end

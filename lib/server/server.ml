@@ -12,6 +12,9 @@ type config = {
   queue_capacity : int;
   request_timeout_s : float;
   max_line_bytes : int;
+  max_pipeline : int;
+  max_batch : int;
+  conn_buffer_bytes : int;
   domains : int;
   version_cache : int;
   data_dir : string option;
@@ -28,6 +31,9 @@ let default_config =
     queue_capacity = 64;
     request_timeout_s = 30.;
     max_line_bytes = 1 lsl 16;
+    max_pipeline = Reactor.default_config.Reactor.max_pipeline;
+    max_batch = Reactor.default_config.Reactor.max_batch;
+    conn_buffer_bytes = Reactor.default_config.Reactor.conn_buffer_bytes;
     domains = 1;
     version_cache = 4;
     data_dir = None;
@@ -56,9 +62,10 @@ type t = {
   pool : Worker_pool.t;
   mu : Mutex.t;
   mutable state : state;
-  mutable conns : Unix.file_descr list;
-  mutable conn_threads : Thread.t list;
-  mutable accept_thread : Thread.t option;
+  (* The event-driven connection core: owns every client socket and all
+     of their buffering.  [Some] from [start] to the end of [stop] —
+     option only because the handlers it is built over close over [t]. *)
+  mutable reactor : Reactor.t option;
   (* [config.domains] after clamping to the host's core count: the
      shard width actually built, kept so [refresh_shards] rebuilds the
      same width. *)
@@ -77,39 +84,6 @@ let port t = t.bound_port
 (* The primary shard: data-level reads (HEALTH, STATS) and the metrics
    registry — which every replica shares — go through it. *)
 let engine t = C.Sharded_engine.primary (Atomic.get t.shards)
-
-(* ------------------------------------------------------------------ *)
-(* One-shot result cells.  Stdlib [Condition] has no timed wait, so the
-   reader polls at a 2ms grain — coarse enough to be free, fine enough
-   that request latency is dominated by the engine, not the wait. *)
-
-type 'a ivar = { imu : Mutex.t; mutable cell : 'a option }
-
-let ivar () = { imu = Mutex.create (); cell = None }
-
-let ivar_fill iv v =
-  Mutex.lock iv.imu;
-  if iv.cell = None then iv.cell <- Some v;
-  Mutex.unlock iv.imu
-
-let ivar_await iv ~timeout_s =
-  (* Monotonic, not wall clock: an NTP step must not expire (or extend)
-     request deadlines. *)
-  let deadline = Dc_clock.Monotonic.now_s () +. timeout_s in
-  let rec go () =
-    Mutex.lock iv.imu;
-    let v = iv.cell in
-    Mutex.unlock iv.imu;
-    match v with
-    | Some _ -> v
-    | None ->
-        if Dc_clock.Monotonic.now_s () >= deadline then None
-        else begin
-          Thread.delay 0.002;
-          go ()
-        end
-  in
-  go ()
 
 (* ------------------------------------------------------------------ *)
 (* Request execution (runs on a pool worker).                          *)
@@ -171,6 +145,62 @@ let execute t eng (req : Protocol.request) =
         ~relations:(List.length (R.Database.relation_names db))
         ~tuples:(R.Database.total_tuples db)
         ()
+  | Protocol.Cite_batch qs ->
+      C.Metrics.record_time "server_cite_batch" @@ fun () ->
+      (* [record] reaches [m] too: the engine sink is in scope here *)
+      C.Metrics.record C.Metrics.Key.server_batches;
+      (* One shard/version resolution for the whole batch: every query
+         cites against [eng], the shard this request was dispatched to,
+         through one CITER — the per-request pick, dispatch and cache
+         warm-up are amortized over all [n] answers.  Each query still
+         fails individually: a parse error costs its own line, never
+         its neighbours'. *)
+      let parsed = List.map (fun q -> (q, Dc_cq.Parser.parse_query q)) qs in
+      let queries = List.filter_map (fun (_, r) -> Result.to_option r) parsed in
+      let results =
+        match C.Citer.cite_batch (C.Citer.of_engine eng) queries with
+        | rs -> Ok rs
+        | exception ex -> Error (Printexc.to_string ex)
+      in
+      let lines =
+        match results with
+        | Error e ->
+            (* The engine failing poisons only this batch: every line
+               answers, parse errors with their own message. *)
+            List.map
+              (fun (_, r) ->
+                record_err m;
+                match r with
+                | Error pe -> Protocol.error_line pe
+                | Ok _ -> Protocol.error_line ("cite failed: " ^ e))
+              parsed
+        | Ok rs ->
+            let remaining = ref rs in
+            List.map
+              (fun (q, r) ->
+                match r with
+                | Error e ->
+                    record_err m;
+                    Protocol.error_line e
+                | Ok _ -> (
+                    match !remaining with
+                    | [] ->
+                        (* unreachable: cite_batch returns one result
+                           per query, in order *)
+                        record_err m;
+                        Protocol.error_line "batch result missing"
+                    | (result : C.Engine.result) :: rest ->
+                        remaining := rest;
+                        Protocol.ok_cite ~query:q
+                          ~expr:(C.Cite_expr.to_string result.result_expr)
+                          ~citations:result.result_citations
+                          ~complete:result.complete
+                          ~tuples:(List.length result.tuples)
+                          ~rewritings:(List.length result.rewritings)
+                          ~ms:(ms ()) ()))
+              parsed
+      in
+      String.concat "\n" lines
   | Protocol.Cite q -> (
       C.Metrics.record_time "server_cite" @@ fun () ->
       match C.Citer.cite_string (C.Citer.of_engine eng) q with
@@ -277,7 +307,9 @@ let execute t eng (req : Protocol.request) =
                 (Printf.sprintf "%s: %s" view (Printexc.to_string ex))))
 
 (* ------------------------------------------------------------------ *)
-(* Connection handling (one lightweight reader thread per connection). *)
+(* Connection handling: the reactor owns every client socket; this
+   layer only turns well-formed requests into worker-pool jobs and
+   counts what the reactor reports. *)
 
 let serving t =
   Mutex.lock t.mu;
@@ -285,121 +317,64 @@ let serving t =
   Mutex.unlock t.mu;
   s = Serving
 
-let handle_request t ~send line =
+let record_busy m =
+  C.Metrics.record C.Metrics.Key.server_busy_sheds;
+  C.Metrics.incr m C.Metrics.Key.server_busy_sheds
+
+(* Runs on the reactor thread, so it must only enqueue.  The response
+   reaches the wire through [reply]: the reactor holds the request's
+   ordered slot and flushes it on write-readiness once filled. *)
+let on_request t req ~reply =
   let m = C.Engine.metrics (engine t) in
-  record_req m;
-  if String.length line > t.config.max_line_bytes then begin
+  if not (serving t) then begin
     record_err m;
-    send (Protocol.error_line "request line too long");
-    `Continue
+    `Reject (Protocol.error_line "server shutting down")
   end
-  else
-    match Protocol.parse_request line with
-    | Error e ->
+  else begin
+    (* shard chosen at submit time: round-robin, so consecutive requests
+       land on different replicas (different locks); a CITE_BATCH keeps
+       the one shard it drew for all its queries *)
+    let eng = C.Sharded_engine.pick (Atomic.get t.shards) in
+    (* a batch owes one line per query even when the job blows up *)
+    let fallback e =
+      let line = Protocol.error_line ("internal error: " ^ e) in
+      match req with
+      | Protocol.Cite_batch qs ->
+          String.concat "\n" (List.map (fun _ -> line) qs)
+      | _ -> line
+    in
+    match
+      Worker_pool.submit t.pool (fun () ->
+          reply
+            (try execute t eng req
+             with ex ->
+               record_err m;
+               fallback (Printexc.to_string ex)))
+    with
+    | Worker_pool.Accepted ->
+        C.Metrics.record_max m C.Metrics.Key.server_queue_depth
+          (Worker_pool.depth t.pool);
+        C.Metrics.record_max C.Metrics.default C.Metrics.Key.server_queue_depth
+          (Worker_pool.depth t.pool);
+        `Accepted
+    | Worker_pool.Overloaded ->
+        (* The bounded pending-request queue is full: shed this request
+           with the BUSY line rather than buffering unboundedly. *)
+        record_busy m;
         record_err m;
-        send (Protocol.error_line e);
-        `Continue
-    | Ok Protocol.Quit ->
-        send Protocol.ok_bye;
-        `Close
-    | Ok req ->
-        if not (serving t) then begin
-          record_err m;
-          send (Protocol.error_line "server shutting down");
-          `Continue
-        end
-        else begin
-          let iv = ivar () in
-          (* shard chosen at submit time: round-robin, so consecutive
-             requests land on different replicas (different locks) *)
-          let eng = C.Sharded_engine.pick (Atomic.get t.shards) in
-          (match
-             Worker_pool.submit t.pool (fun () ->
-                 ivar_fill iv
-                   (try execute t eng req
-                    with ex ->
-                      record_err m;
-                      Protocol.error_line
-                        ("internal error: " ^ Printexc.to_string ex)))
-           with
-          | Worker_pool.Shutting_down ->
-              record_err m;
-              send (Protocol.error_line "server shutting down")
-          | Worker_pool.Overloaded ->
-              record_err m;
-              send (Protocol.error_line "server overloaded (queue full)")
-          | Worker_pool.Accepted -> (
-              C.Metrics.record_max m C.Metrics.Key.server_queue_depth
-                (Worker_pool.high_water t.pool);
-              C.Metrics.record_max C.Metrics.default
-                C.Metrics.Key.server_queue_depth
-                (Worker_pool.high_water t.pool);
-              match ivar_await iv ~timeout_s:t.config.request_timeout_s with
-              | Some response -> send response
-              | None ->
-                  record_err m;
-                  send (Protocol.error_line "request timed out")));
-          `Continue
-        end
+        `Reject Protocol.busy_line
+    | Worker_pool.Shutting_down ->
+        record_err m;
+        `Reject (Protocol.error_line "server shutting down")
+  end
 
-(* Removing a connection and closing its descriptor happen under the
-   server mutex, so [stop]'s shutdown sweep (same mutex) can never touch
-   a descriptor number the OS has already recycled. *)
-let close_conn t fd =
-  Mutex.lock t.mu;
-  t.conns <- List.filter (fun c -> c <> fd) t.conns;
-  (try Unix.close fd with Unix.Unix_error _ -> ());
-  Mutex.unlock t.mu
-
-let handle_conn t fd =
-  let ic = Unix.in_channel_of_descr fd in
-  let oc = Unix.out_channel_of_descr fd in
-  let send line =
-    try
-      output_string oc line;
-      output_char oc '\n';
-      flush oc
-    with Sys_error _ -> ()
-  in
-  let rec loop () =
-    match input_line ic with
-    | exception (End_of_file | Sys_error _) -> ()
-    | exception Unix.Unix_error _ -> ()
-    | line -> ( match handle_request t ~send line with
-        | `Continue -> loop ()
-        | `Close -> ())
-  in
-  loop ();
-  close_conn t fd
-
-(* [Unix.close] on another thread does not wake a blocked [accept] on
-   Linux, so the loop polls readiness with a short [select] and
-   re-checks the state between polls. *)
-let accept_loop t =
-  let rec go () =
-    if not (serving t) then ()
-    else
-      match Unix.select [ t.listen_fd ] [] [] 0.05 with
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
-      | exception Unix.Unix_error (_, _, _) -> () (* listener closed *)
-      | [], _, _ -> go ()
-      | _ -> (
-          match Unix.accept t.listen_fd with
-          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
-          | exception Unix.Unix_error (_, _, _) -> ()
-          | fd, _ ->
-              if serving t then begin
-                Mutex.lock t.mu;
-                t.conns <- fd :: t.conns;
-                t.conn_threads <-
-                  Thread.create (fun () -> handle_conn t fd) ()
-                  :: t.conn_threads;
-                Mutex.unlock t.mu
-              end
-              else (try Unix.close fd with Unix.Unix_error _ -> ());
-              go ())
-  in
-  go ()
+let reactor_handlers t =
+  {
+    Reactor.on_request = (fun req ~reply -> on_request t req ~reply);
+    on_receive = (fun () -> record_req (C.Engine.metrics (engine t)));
+    on_error = (fun () -> record_err (C.Engine.metrics (engine t)));
+    on_busy = (fun () -> record_busy (C.Engine.metrics (engine t)));
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Lifecycle                                                           *)
@@ -518,9 +493,7 @@ let start ?(config = default_config) eng =
           ~queue_capacity:config.queue_capacity ();
       mu = Mutex.create ();
       state = Serving;
-      conns = [];
-      conn_threads = [];
-      accept_thread = None;
+      reactor = None;
       domains_eff;
       started_at = Dc_clock.Monotonic.now_s ();
       stop_requested = Atomic.make false;
@@ -532,7 +505,19 @@ let start ?(config = default_config) eng =
      own (version-0) database — rebuild them over the recovered head
      before serving the first request. *)
   if C.Versioned_engine.head t.versioned > 0 then refresh_shards t;
-  t.accept_thread <- Some (Thread.create accept_loop t);
+  t.reactor <-
+    Some
+      (Reactor.start
+         ~config:
+           {
+             Reactor.default_config with
+             Reactor.max_line_bytes = config.max_line_bytes;
+             max_batch = config.max_batch;
+             max_pipeline = config.max_pipeline;
+             conn_buffer_bytes = config.conn_buffer_bytes;
+             request_timeout_s = config.request_timeout_s;
+           }
+         ~listen_fd ~handlers:(reactor_handlers t) ());
   (match storage with
   | Some st when config.snapshot_every_s > 0. ->
       t.snapshot_thread <- Some (Thread.create (fun () -> snapshot_loop t st) ())
@@ -570,29 +555,18 @@ let stop t =
   if not proceed then wait t
   else begin
     Log.info (fun m -> m "draining: refusing new work");
-    (* 1. stop accepting connections.  The accept loop notices Draining
-       at its next poll; the shutdown additionally wakes a blocked
-       [accept] on platforms that support it. *)
-    (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL
-     with Unix.Unix_error _ -> ());
-    Option.iter Thread.join t.accept_thread;
-    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-    (* 2. drain: every accepted request finishes and is answered *)
+    (* 1. stop accepting connections and stop reading new requests;
+       everything already framed is either queued or about to be. *)
+    Option.iter Reactor.drain t.reactor;
+    (* 2. drain: every accepted request finishes and fills its slot *)
     Worker_pool.shutdown t.pool;
-    (* 3. kick idle readers: shutting down the receive side makes their
-       blocked [input_line] return EOF while leaving in-flight responses
-       free to write out.  Done under the mutex — every fd still in
-       [t.conns] is open, because removal and close share the lock. *)
-    Mutex.lock t.mu;
-    List.iter
-      (fun fd ->
-        try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE
-        with Unix.Unix_error _ -> ())
-      t.conns;
-    let threads = t.conn_threads in
-    t.conn_threads <- [];
-    Mutex.unlock t.mu;
-    List.iter Thread.join threads;
+    (* 3. flush the filled slots to their clients (bounded grace for
+       slow readers), close every connection and join the reactor.  All
+       client fds are reactor-owned, so this leaks none — the listener
+       stays ours and closes next. *)
+    Option.iter Reactor.stop t.reactor;
+    t.reactor <- None;
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
     (* 4. durable drain: final snapshot of whatever head we reached,
        WAL synced and closed — the next start recovers instantly. *)
     Option.iter Thread.join t.snapshot_thread;

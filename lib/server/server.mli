@@ -3,14 +3,28 @@
     {!Protocol} — the paper's §3 "citations computed at the time the
     data is being cited", as an online service.
 
-    Architecture: an accept loop hands each connection to a lightweight
-    reader thread; every parsed request becomes a job on a bounded
-    {!Worker_pool} (backpressure: a full queue answers
-    [ERR "server overloaded"] instead of buffering); the reader waits
-    for the job's response up to [request_timeout_s] and writes it back.
-    Request failures of any kind — parse errors, unknown views, engine
-    exceptions, timeouts — cost exactly one [ERR] line on that
-    connection; they never kill the connection, a worker, or the server.
+    Architecture: a single {!Reactor} thread owns every client socket —
+    it multiplexes accepts, non-blocking reads and write-readiness
+    flushes with [Unix.select], frames requests incrementally through
+    {!Protocol.Decoder} (so clients may {e pipeline}: many requests on
+    the wire before the first response, answered strictly in request
+    order), and turns each framed request into a job on the bounded
+    {!Worker_pool}.  Workers never touch a socket: a job fills its
+    connection's ordered response slot and wakes the reactor, which
+    flushes.  Backpressure is explicit at two points — a full pool
+    queue or a connection past [max_pipeline] in-flight requests is
+    answered with the single line [ERR {"error":"BUSY"}]
+    ({!Protocol.busy_line}) instead of buffering unboundedly, and a
+    connection holding more than [conn_buffer_bytes] of unflushed
+    output stops being read until the client drains.  Request failures
+    of any kind — parse errors, unknown views, engine exceptions,
+    timeouts — cost exactly one [ERR] line on that connection; they
+    never kill the connection, a worker, or the server.
+
+    The multi-line [CITE_BATCH n] form (header then [n] query lines)
+    answers [n] [OK]/[ERR] lines, resolving its shard and version once
+    for the whole batch — the cheapest way to push many queries
+    through one connection.
 
     With [config.domains = N > 1] the pool runs one OCaml 5 {e domain}
     per worker and the engine is wrapped in a {!Dc_citation.Sharded_engine}
@@ -51,6 +65,13 @@ type config = {
           [ERR "request timed out"] (the computation itself is not
           interrupted) *)
   max_line_bytes : int;  (** requests longer than this are refused *)
+  max_pipeline : int;
+      (** in-flight (unanswered) requests allowed per connection before
+          further ones are shed with {!Protocol.busy_line} *)
+  max_batch : int;  (** largest accepted [CITE_BATCH] count *)
+  conn_buffer_bytes : int;
+      (** unflushed response bytes per connection before the reactor
+          stops reading it (flow control, not an error) *)
   domains : int;
       (** [1] = systhread workers over one shared engine; [N > 1] = [N]
           domain-backed workers over [N] engine shards ([workers] is
@@ -83,9 +104,9 @@ type config = {
 
 val default_config : config
 (** [127.0.0.1:7421], 4 workers, queue 64, 30s timeout, 64KiB lines,
-    1 domain, 4 cached version engines; durability off ([data_dir =
-    None]; once armed: fsync [Always], snapshots every 300s, [Full]
-    recovery). *)
+    pipeline ≤ 128, batch ≤ 1024, 1MiB connection buffers, 1 domain,
+    4 cached version engines; durability off ([data_dir = None]; once
+    armed: fsync [Always], snapshots every 300s, [Full] recovery). *)
 
 type t
 
@@ -108,10 +129,11 @@ val port : t -> int
 (** The actually-bound port (useful with [port = 0]). *)
 
 val stop : t -> unit
-(** Graceful shutdown: stop accepting connections, refuse new requests,
-    drain every accepted request (each gets its response), unblock idle
-    connections, join all threads.  Idempotent — concurrent callers
-    block until the stop completes. *)
+(** Graceful shutdown: stop accepting connections, stop reading new
+    requests, drain every accepted request (each fills its response
+    slot), flush responses out with a bounded grace for slow readers,
+    close every client socket and join the reactor and workers.
+    Idempotent — concurrent callers block until the stop completes. *)
 
 val wait : t -> unit
 (** Block until the server reaches the stopped state. *)

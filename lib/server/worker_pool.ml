@@ -96,6 +96,12 @@ let high_water t =
   Mutex.unlock t.mu;
   hw
 
+let depth t =
+  Mutex.lock t.mu;
+  let d = Queue.length t.jobs in
+  Mutex.unlock t.mu;
+  d
+
 let shutdown t =
   Mutex.lock t.mu;
   let already = t.stopping in

@@ -30,6 +30,10 @@ val submit : t -> (unit -> unit) -> submit_result
 val high_water : t -> int
 (** Deepest the queue has ever been (pending jobs, not in-flight). *)
 
+val depth : t -> int
+(** Pending jobs right now (not in-flight) — the live companion to
+    {!high_water}. *)
+
 val shutdown : t -> unit
 (** Graceful: refuse new submissions, let the workers drain every
     already-accepted job, then join them.  Idempotent; blocks until the

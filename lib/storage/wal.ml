@@ -116,11 +116,24 @@ let scan_file ~schemas path =
 
 type fsync = Always | Interval of float | Never
 
+(* Group commit ([Always] policy): every append gets a generation
+   number; one appender at a time becomes the {e leader} and fsyncs
+   with the writer lock {e released}, so concurrent committers keep
+   appending frames meanwhile.  When the leader returns, everything
+   written before its fsync started ([synced_gen]) is durable in one
+   barrier; followers parked on [cond] wake, see their generation
+   covered, and return without ever touching the disk.  Under serial
+   load the leader is alone and the behaviour (and fsync count) is
+   exactly the old one-fsync-per-append. *)
 type writer = {
   fd : Unix.file_descr;
   path : string;
   fsync : fsync;
   mu : Mutex.t;
+  cond : Condition.t;  (* group-commit handoff: synced_gen advanced *)
+  mutable write_gen : int;  (* appends written (frame on the fd) *)
+  mutable synced_gen : int;  (* appends covered by some fsync *)
+  mutable sync_inflight : bool;  (* a leader is fsyncing, lock released *)
   mutable last_sync : float;  (* monotonic; Interval bookkeeping *)
   mutable dirty : bool;
   mutable closed : bool;
@@ -138,6 +151,10 @@ let writer_of_fd ~path ~fsync fd =
     path;
     fsync;
     mu = Mutex.create ();
+    cond = Condition.create ();
+    write_gen = 0;
+    synced_gen = 0;
+    sync_inflight = false;
     last_sync = Dc_clock.Monotonic.now_s ();
     dirty = false;
     closed = false;
@@ -181,13 +198,60 @@ let write_all fd s =
   in
   go 0
 
+(* Direct fsync with the lock held throughout (Interval policy, explicit
+   [sync], [close]): no appender can interleave, so the barrier covers
+   everything written so far. *)
 let sync_locked w =
   if w.dirty then begin
     Hooks.timed "wal_fsync" (fun () -> Unix.fsync w.fd);
     !Hooks.count "wal_fsyncs" 1;
-    w.dirty <- false
+    w.dirty <- false;
+    if w.write_gen > w.synced_gen then w.synced_gen <- w.write_gen
   end;
   w.last_sync <- Dc_clock.Monotonic.now_s ()
+
+(* Called with [w.mu] held; returns (still holding it) once generation
+   [my_gen] is covered by a completed fsync.  A failed leader fsync
+   wakes the followers to retry as leaders themselves — each append
+   either ends durable or returns its own error, never a false Ok. *)
+let group_sync_locked w my_gen =
+  let rec wait () =
+    if w.synced_gen >= my_gen then ()
+    else if w.closed then
+      (* closed under a waiting follower: durability unknowable *)
+      raise (Unix.Unix_error (Unix.EBADF, "fsync", w.path))
+    else if w.sync_inflight then begin
+      Condition.wait w.cond w.mu;
+      wait ()
+    end
+    else begin
+      w.sync_inflight <- true;
+      let target = w.write_gen in
+      Mutex.unlock w.mu;
+      let res =
+        try
+          Hooks.timed "wal_fsync" (fun () -> Unix.fsync w.fd);
+          None
+        with Unix.Unix_error (e, fn, arg) -> Some (e, fn, arg)
+      in
+      Mutex.lock w.mu;
+      w.sync_inflight <- false;
+      (match res with
+      | None ->
+          !Hooks.count "wal_fsyncs" 1;
+          let covered = target - w.synced_gen in
+          if covered >= 2 then !Hooks.count "wal_group_commits" 1;
+          if target > w.synced_gen then w.synced_gen <- target;
+          w.dirty <- w.write_gen > w.synced_gen;
+          w.last_sync <- Dc_clock.Monotonic.now_s ()
+      | Some _ -> ());
+      Condition.broadcast w.cond;
+      match res with
+      | None -> () (* target >= my_gen: we are covered *)
+      | Some (e, fn, arg) -> raise (Unix.Unix_error (e, fn, arg))
+    end
+  in
+  wait ()
 
 let append w record =
   Mutex.protect w.mu (fun () ->
@@ -197,9 +261,10 @@ let append w record =
             Hooks.timed "wal_append" (fun () ->
                 write_all w.fd (Frame.to_string (encode_record record)));
             !Hooks.count "wal_appends" 1;
+            w.write_gen <- w.write_gen + 1;
             w.dirty <- true;
             match w.fsync with
-            | Always -> sync_locked w
+            | Always -> group_sync_locked w w.write_gen
             | Never -> ()
             | Interval s ->
                 if Dc_clock.Monotonic.now_s () -. w.last_sync >= s then
@@ -215,5 +280,7 @@ let close w =
       if not w.closed then begin
         w.closed <- true;
         (try if w.dirty then Unix.fsync w.fd with Unix.Unix_error _ -> ());
-        try Unix.close w.fd with Unix.Unix_error _ -> ()
+        (try Unix.close w.fd with Unix.Unix_error _ -> ());
+        (* group-commit followers parked on the condition must not hang *)
+        Condition.broadcast w.cond
       end)

@@ -48,7 +48,14 @@ val scan_file :
 (** {2 Appending} *)
 
 type fsync =
-  | Always  (** fsync after every append — no committed delta is ever lost *)
+  | Always
+      (** every append is durable before it returns — no committed delta
+          is ever lost.  Concurrent appenders {e group commit}: one
+          leader fsyncs (lock released, so others keep appending
+          meanwhile) and every append its barrier covered returns
+          without a disk touch of its own.  Serial load still pays one
+          fsync per append; the [wal_group_commits] counter tracks how
+          often a barrier covered more than one append. *)
   | Interval of float
       (** fsync when at least this many seconds passed since the last
           one — bounded loss window, near-[Never] throughput *)
@@ -66,7 +73,9 @@ val open_existing :
     corrupt tail the scan rejected. *)
 
 val append : writer -> record -> (unit, string) result
-(** Append one framed record and apply the fsync policy.  Thread-safe.
+(** Append one framed record and apply the fsync policy (under
+    [Always], through the group commit above — [Ok] means the record is
+    on disk, however many appends shared the barrier).  Thread-safe.
     [Error] (with path and reason) on any I/O failure — the caller must
     then {e not} consider the record durable. *)
 

@@ -260,6 +260,156 @@ let test_health_v2 () =
   Alcotest.(check bool) "last_snapshot_version" true
     (contains {|"last_snapshot_version":4|})
 
+(* --- incremental decoder ------------------------------------------- *)
+
+let items_of dec s = P.Decoder.feed dec s
+
+let feed_bytewise dec s =
+  List.concat_map
+    (fun i -> items_of dec (String.make 1 s.[i]))
+    (List.init (String.length s) Fun.id)
+
+let item =
+  Alcotest.testable
+    (fun ppf -> function
+      | Ok r -> Format.fprintf ppf "Ok %s" (P.render_request r)
+      | Error e -> Format.fprintf ppf "Error %s" e)
+    (fun a b ->
+      match (a, b) with
+      | Ok ra, Ok rb -> req_equal ra rb
+      | Error _, Error _ -> true (* same failure, message free to differ *)
+      | _ -> false)
+
+let stream =
+  "CITE Q(X) :- R(X)\nSTATS\r\nCITE_BATCH 2\nQ(X) :- A(X)\r\nQ(Y) :- B(Y)\n\
+   BOGUS nonsense\nV2 VERSIONS\n"
+
+let expected_stream =
+  [
+    Ok (P.Cite "Q(X) :- R(X)");
+    Ok P.Stats;
+    Ok (P.Cite_batch [ "Q(X) :- A(X)"; "Q(Y) :- B(Y)" ]);
+    Error "parse";
+    Ok P.Versions;
+  ]
+
+let test_decoder_whole_feed () =
+  let dec = P.Decoder.create () in
+  Alcotest.(check (list item))
+    "one feed frames every request" expected_stream (items_of dec stream);
+  Alcotest.(check int) "no bytes left over" 0 (P.Decoder.pending_bytes dec);
+  Alcotest.(check bool) "no batch pending" false (P.Decoder.in_batch dec)
+
+let test_decoder_byte_at_a_time () =
+  (* Framing must not depend on how reads chunk the stream: feeding one
+     byte at a time yields exactly the whole-feed items. *)
+  let dec = P.Decoder.create () in
+  Alcotest.(check (list item))
+    "byte-at-a-time equals whole-string" expected_stream
+    (feed_bytewise dec stream);
+  (* and split at every position into two chunks *)
+  for cut = 0 to String.length stream do
+    let dec = P.Decoder.create () in
+    let a = String.sub stream 0 cut in
+    let b = String.sub stream cut (String.length stream - cut) in
+    let first = items_of dec a in
+    let second = items_of dec b in
+    Alcotest.(check (list item))
+      (Printf.sprintf "split at %d" cut)
+      expected_stream (first @ second)
+  done
+
+let test_decoder_incomplete_line () =
+  let dec = P.Decoder.create () in
+  Alcotest.(check (list item)) "no newline, no item" [] (items_of dec "STA");
+  Alcotest.(check int) "partial buffered" 3 (P.Decoder.pending_bytes dec);
+  Alcotest.(check (list item))
+    "completion frames it"
+    [ Ok P.Stats ]
+    (items_of dec "TS\n")
+
+let test_decoder_oversized_resync () =
+  let dec = P.Decoder.create ~max_line_bytes:16 () in
+  let long = String.make 64 'x' in
+  let items = items_of dec (long ^ "\nSTATS\n") in
+  Alcotest.(check (list item))
+    "oversized line errors once, next line parses"
+    [ Error "too long"; Ok P.Stats ]
+    items;
+  (* an oversized line inside a batch abandons the batch too *)
+  let dec = P.Decoder.create ~max_line_bytes:16 () in
+  let items = items_of dec ("CITE_BATCH 2\n" ^ long ^ "\nSTATS\n") in
+  Alcotest.(check (list item))
+    "oversized batch query aborts the batch"
+    [ Error "too long"; Ok P.Stats ]
+    items;
+  Alcotest.(check bool) "batch state cleared" false (P.Decoder.in_batch dec)
+
+let test_decoder_batch_errors () =
+  let bad header =
+    let dec = P.Decoder.create ~max_batch:8 () in
+    match items_of dec (header ^ "\n") with
+    | [ Error _ ] -> ()
+    | items ->
+        Alcotest.failf "%s: expected one error, got %d item(s)" header
+          (List.length items)
+  in
+  bad "CITE_BATCH";
+  bad "CITE_BATCH zero";
+  bad "CITE_BATCH 0";
+  bad "CITE_BATCH -3";
+  bad "CITE_BATCH 9";
+  (* over max_batch *)
+  (* an empty query line abandons the batch; framing resynchronizes *)
+  let dec = P.Decoder.create () in
+  Alcotest.(check (list item))
+    "empty query aborts, next command parses"
+    [ Error "empty query"; Ok P.Health ]
+    (items_of dec "CITE_BATCH 3\nQ(X) :- A(X)\n\nHEALTH\n");
+  (* the single-line parser refuses a bare header outright *)
+  match P.parse_request "CITE_BATCH 2" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "parse_request must refuse CITE_BATCH"
+
+let test_decoder_batch_render_roundtrip () =
+  let r = P.Cite_batch [ "Q(X) :- A(X)"; "Q(Y) :- B(Y)"; "Q(Z) :- C(Z)" ] in
+  let dec = P.Decoder.create () in
+  Alcotest.(check (list item))
+    "render feeds back to the same request"
+    [ Ok r ]
+    (items_of dec (P.render_request r ^ "\n"))
+
+let test_busy_line () =
+  Alcotest.(check bool) "busy_line is BUSY" true
+    (P.is_busy_response P.busy_line);
+  Alcotest.(check bool) "other errors are not" false
+    (P.is_busy_response (P.error_line "BUSY elsewhere"));
+  Alcotest.(check bool) "ok is not" false (P.is_busy_response P.ok_bye);
+  match P.classify_response P.busy_line with
+  | `Err _ -> ()
+  | _ -> Alcotest.fail "busy_line must classify as `Err"
+
+let gen_stream =
+  (* random request streams: render valid requests, join, frame *)
+  QCheck.Gen.(list_size (1 -- 10) gen_request)
+
+let arb_stream =
+  QCheck.make
+    ~print:(fun rs -> String.concat " | " (List.map P.render_request rs))
+    gen_stream
+
+let test_decoder_stream_prop =
+  Testutil.qtest "decoder frames rendered streams" arb_stream (fun rs ->
+      let wire =
+        String.concat "" (List.map (fun r -> P.render_request r ^ "\n") rs)
+      in
+      let dec = P.Decoder.create () in
+      let items = items_of dec wire in
+      List.length items = List.length rs
+      && List.for_all2
+           (fun r -> function Ok r' -> req_equal r r' | Error _ -> false)
+           rs items)
+
 let suite =
   [
     Alcotest.test_case "round trips" `Quick test_roundtrips;
@@ -273,4 +423,16 @@ let suite =
     Alcotest.test_case "error lines" `Quick test_error_line;
     Alcotest.test_case "classify responses" `Quick test_classify;
     Alcotest.test_case "v2 health" `Quick test_health_v2;
+    Alcotest.test_case "decoder whole feed" `Quick test_decoder_whole_feed;
+    Alcotest.test_case "decoder byte-at-a-time" `Quick
+      test_decoder_byte_at_a_time;
+    Alcotest.test_case "decoder incomplete line" `Quick
+      test_decoder_incomplete_line;
+    Alcotest.test_case "decoder oversized resync" `Quick
+      test_decoder_oversized_resync;
+    Alcotest.test_case "decoder batch errors" `Quick test_decoder_batch_errors;
+    Alcotest.test_case "decoder batch render roundtrip" `Quick
+      test_decoder_batch_render_roundtrip;
+    Alcotest.test_case "busy line" `Quick test_busy_line;
+    test_decoder_stream_prop;
   ]

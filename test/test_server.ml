@@ -290,6 +290,125 @@ let test_graceful_shutdown () =
   (* stop is idempotent after a signal-driven stop *)
   S.Server.stop server
 
+(* --- pipelining, batching, backpressure ---------------------------- *)
+
+(* Many requests on the wire before the first response; responses must
+   come back in request order even while commits churn the engine on a
+   second connection.  VERIFY echoes its digest, so each response is
+   attributable to its request. *)
+let test_pipelining_order () =
+  with_server @@ fun _engine server ->
+  let conn = S.Client.connect ~port:(S.Server.port server) () in
+  Fun.protect ~finally:(fun () -> S.Client.close conn) @@ fun () ->
+  let n = 50 in
+  let stop_commits = Atomic.make false in
+  let committer =
+    Thread.create
+      (fun () ->
+        let i = ref 0 in
+        while not (Atomic.get stop_commits) do
+          incr i;
+          ignore
+            (request server
+               (Printf.sprintf "V2 COMMIT_DELTA +Family(%d,Pipe%d,P%d)"
+                  (500 + !i) !i !i))
+        done)
+      ()
+  in
+  Fun.protect ~finally:(fun () ->
+      Atomic.set stop_commits true;
+      Thread.join committer)
+  @@ fun () ->
+  for i = 0 to n - 1 do
+    S.Client.send conn (Printf.sprintf "V2 VERIFY 0 digest%04d" i)
+  done;
+  S.Client.flush_out conn;
+  for i = 0 to n - 1 do
+    match S.Client.recv conn with
+    | None -> Alcotest.failf "connection closed at response %d" i
+    | Some line ->
+        Alcotest.(check bool)
+          (Printf.sprintf "response %d carries its own digest" i)
+          true
+          (contains line (Printf.sprintf {|"digest":"digest%04d"|} i))
+  done
+
+let test_cite_batch_wire () =
+  with_server @@ fun engine server ->
+  let conn = S.Client.connect ~port:(S.Server.port server) () in
+  Fun.protect ~finally:(fun () -> S.Client.close conn) @@ fun () ->
+  (* sequential answers to compare against, same connection *)
+  let solo_family = expect_ok "solo cite" (S.Client.request conn cite_q) in
+  let solo_intro =
+    expect_ok "solo cite 2"
+      (S.Client.request conn "CITE Q(F) :- FamilyIntro(F,T)")
+  in
+  S.Client.send conn "CITE_BATCH 3";
+  S.Client.send conn "Q(N) :- Family(F,N,D)";
+  S.Client.send conn "this is not a query";
+  S.Client.send conn "Q(F) :- FamilyIntro(F,T)";
+  S.Client.flush_out conn;
+  let r1 = S.Client.recv conn in
+  let r2 = S.Client.recv conn in
+  let r3 = S.Client.recv conn in
+  (* one line per query, in order: OK, ERR, OK — the bad query costs
+     only its own line *)
+  let body1 = expect_ok "batch line 1" r1 in
+  (match Option.map S.Protocol.classify_response r2 with
+  | Some (`Err _) -> ()
+  | _ ->
+      Alcotest.failf "bad batch query should ERR, got %s"
+        (Option.value ~default:"<closed>" r2));
+  let body3 = expect_ok "batch line 3" r3 in
+  (* batched answers match their sequential equivalents (modulo ms) *)
+  Alcotest.(check string) "line 1 = solo cite" (sans_ms solo_family)
+    (sans_ms body1);
+  Alcotest.(check string) "line 3 = solo cite 2" (sans_ms solo_intro)
+    (sans_ms body3);
+  (* the whole batch was one request through the engine *)
+  let m = C.Engine.metrics engine in
+  Alcotest.(check int) "one batch executed" 1
+    (C.Metrics.count m C.Metrics.Key.server_batches);
+  (* the connection still serves after a batch *)
+  let health = expect_ok "health after batch" (S.Client.request conn "HEALTH") in
+  Alcotest.(check bool) "serving" true (contains health {|"status":"serving"|})
+
+(* Overload: a tiny pipeline bound with deep pipelining must shed with
+   BUSY lines — every request answered, nothing hangs, the connection
+   survives. *)
+let test_busy_shedding () =
+  let engine =
+    C.Engine.create
+      (Dc_gtopdb.Paper_views.example_database ())
+      Dc_gtopdb.Paper_views.all
+  in
+  let config =
+    {
+      S.Server.default_config with
+      port = 0;
+      workers = 1;
+      queue_capacity = 2;
+      max_pipeline = 2;
+    }
+  in
+  let server = S.Server.start ~config engine in
+  Fun.protect ~finally:(fun () -> S.Server.stop server) @@ fun () ->
+  let stats =
+    S.Client.Load.run ~port:(S.Server.port server) ~clients:2
+      ~requests_per_client:40 ~requests:[ cite_q ]
+      ~mode:(S.Client.Load.Pipelined 20) ()
+  in
+  Alcotest.(check int) "every request answered" 80 stats.requests;
+  Alcotest.(check bool) "overload sheds with BUSY" true (stats.busy > 0);
+  Alcotest.(check int) "every error is a BUSY shed" stats.errors stats.busy;
+  (* the server is healthy after the storm *)
+  let health = expect_ok "health after overload" (request server "HEALTH") in
+  Alcotest.(check bool) "still serving" true
+    (contains health {|"status":"serving"|});
+  let m = C.Engine.metrics engine in
+  Alcotest.(check bool) "sheds counted" true
+    (C.Metrics.count m C.Metrics.Key.server_busy_sheds > 0)
+
 let suite =
   [
     Alcotest.test_case "cite over loopback" `Quick test_cite_roundtrip;
@@ -301,4 +420,8 @@ let suite =
       test_versioned_concurrent_commits;
     Alcotest.test_case "graceful shutdown on SIGTERM" `Quick
       test_graceful_shutdown;
+    Alcotest.test_case "pipelined responses keep order" `Quick
+      test_pipelining_order;
+    Alcotest.test_case "cite_batch over the wire" `Quick test_cite_batch_wire;
+    Alcotest.test_case "overload sheds BUSY" `Quick test_busy_shedding;
   ]

@@ -479,6 +479,62 @@ let test_data_dir_errors_carry_the_path () =
       Alcotest.(check bool) "error names the wal path" true
         (contains e (Filename.concat wal_dir "wal.log"))
 
+(* Group commit: concurrent [Always] appends must all be durable (every
+   record recovered by a scan) while fsync barriers are shared — never
+   more fsyncs than appends, and every append Ok only after a covering
+   barrier.  Coalescing {e degree} is timing-dependent, so the test
+   asserts the invariants and lets bench E16 report the measured gap. *)
+let test_concurrent_group_commit () =
+  with_dir @@ fun dir ->
+  let path = Filename.concat dir "wal.log" in
+  let w = ok "create" (Sg.Wal.create ~path ~fsync:Sg.Wal.Always) in
+  (* tally the hook counters, preserving whatever they were wired to *)
+  let fsyncs = Atomic.make 0 and appends = Atomic.make 0 in
+  let groups = Atomic.make 0 in
+  let old_count = !Sg.Hooks.count in
+  Sg.Hooks.count :=
+    (fun name n ->
+      (match name with
+      | "wal_fsyncs" -> Atomic.incr fsyncs
+      | "wal_appends" -> Atomic.incr appends
+      | "wal_group_commits" -> Atomic.incr groups
+      | _ -> ());
+      old_count name n);
+  Fun.protect ~finally:(fun () -> Sg.Hooks.count := old_count) @@ fun () ->
+  let threads = 8 and per_thread = 20 in
+  let failures = Atomic.make 0 in
+  let appenders =
+    List.init threads (fun k ->
+        Thread.create
+          (fun () ->
+            for i = 0 to per_thread - 1 do
+              match
+                Sg.Wal.append w
+                  (Sg.Wal.Register (Printf.sprintf "Q%d_%d(X) :- R(X)" k i))
+              with
+              | Ok () -> ()
+              | Error _ -> Atomic.incr failures
+            done)
+          ())
+  in
+  List.iter Thread.join appenders;
+  Sg.Wal.close w;
+  Alcotest.(check int) "every append succeeded" 0 (Atomic.get failures);
+  Alcotest.(check int) "appends counted" (threads * per_thread)
+    (Atomic.get appends);
+  Alcotest.(check bool)
+    (Printf.sprintf "no more fsyncs (%d) than appends (%d)"
+       (Atomic.get fsyncs) (Atomic.get appends))
+    true
+    (Atomic.get fsyncs <= Atomic.get appends);
+  Alcotest.(check bool) "group counter within fsyncs" true
+    (Atomic.get groups <= Atomic.get fsyncs);
+  (* durability: every concurrent append is in the recovered prefix *)
+  let scan = ok "scan" (Sg.Wal.scan_file ~schemas:[] path) in
+  Alcotest.(check (option string)) "no corruption" None scan.Sg.Wal.corrupt;
+  Alcotest.(check int) "every record recovered" (threads * per_thread)
+    (List.length scan.Sg.Wal.records)
+
 let suite =
   [
     Alcotest.test_case "garbage between records" `Quick
@@ -497,6 +553,8 @@ let suite =
       test_corrupt_latest_snapshot_falls_back;
     Alcotest.test_case "data-dir errors carry the path" `Quick
       test_data_dir_errors_carry_the_path;
+    Alcotest.test_case "concurrent group commit" `Quick
+      test_concurrent_group_commit;
     prop_frame_roundtrip;
     prop_frame_detects_flip;
     prop_record_roundtrip;
