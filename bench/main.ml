@@ -116,6 +116,7 @@ let () =
       ("E15", Experiments.e15);
       ("E16", Experiments.e16);
       ("E18", Experiments.e18);
+      ("E19", Experiments.e19);
     ]
   in
   let to_run =

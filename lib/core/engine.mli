@@ -96,9 +96,14 @@ val selection : t -> selection
 val view_database : t -> Dc_relational.Database.t
 
 val eval_cache : t -> Dc_cq.Eval.cache
-(** The engine's shared index cache.  Entries self-invalidate against
-    the current relation values, so callers maintaining the database
-    incrementally ({!Incremental}) can keep reusing it across deltas. *)
+(** The engine's shared evaluation cache: hash indexes keyed by
+    (predicate, bound positions) {e and} compiled query plans keyed by
+    the query's printed form (see {!Dc_cq.Plan}).  Both kinds of entry
+    self-invalidate against the current relation values by physical
+    identity, so callers maintaining the database incrementally
+    ({!Incremental}) can keep reusing it across deltas.  Distinct from
+    the engine's rewriting-plan cache, which maps citation queries to
+    verified rewritings and is keyed by canonicalized query form. *)
 
 val metrics : t -> Metrics.t
 (** This engine's metrics handle: plan/leaf/eval cache hit counters,

@@ -5,6 +5,8 @@ module Key = struct
   let eval_index_builds = "eval_index_builds"
   let eval_cache_hits = "eval_cache_hits"
   let eval_cache_misses = "eval_cache_misses"
+  let plan_compiles = "plan_compiles"
+  let eval_plan_hits = "eval_plan_hits"
   let leaf_cache_hits = "leaf_cache_hits"
   let leaf_cache_misses = "leaf_cache_misses"
   let plan_cache_hits = "plan_cache_hits"
@@ -39,6 +41,8 @@ module Key = struct
       eval_cache_hits;
       eval_cache_misses;
       eval_index_builds;
+      plan_compiles;
+      eval_plan_hits;
       rewriting_candidates;
       rewriting_verified;
       rewriting_kept;
@@ -351,7 +355,10 @@ let () =
     (function
      | Cq.Eval.Index_build -> record Key.eval_index_builds
      | Cq.Eval.Cache_hit -> record Key.eval_cache_hits
-     | Cq.Eval.Cache_miss -> record Key.eval_cache_misses);
+     | Cq.Eval.Cache_miss -> record Key.eval_cache_misses
+     | Cq.Eval.Plan_compile -> record Key.plan_compiles
+     | Cq.Eval.Plan_hit -> record Key.eval_plan_hits);
+  (Cq.Eval.plan_timer := fun f -> record_time "plan_compile" f);
   Cq.Containment.on_check := (fun () -> record Key.containment_checks);
   (* Storage instrumentation: counter names are the Key.* above
      (wal_appends, wal_fsyncs, snapshots_written,

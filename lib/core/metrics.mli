@@ -51,6 +51,17 @@ module Key : sig
   val eval_index_builds : string
   val eval_cache_hits : string
   val eval_cache_misses : string
+
+  val plan_compiles : string
+  (** Query compilations by {!Dc_cq.Eval}'s plan cache (a miss, or a
+      cached plan invalidated by database evolution).  Compilation time
+      accumulates under the [plan_compile] timer. *)
+
+  val eval_plan_hits : string
+  (** Evaluations served by an already-compiled, still-valid plan — the
+      warm citation hot path.  Distinct from {!plan_cache_hits}, which
+      counts the rewriting-policy plan cache in {!Engine}. *)
+
   val leaf_cache_hits : string
   val leaf_cache_misses : string
   val plan_cache_hits : string

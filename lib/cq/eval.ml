@@ -4,12 +4,14 @@ module Sset = Set.Make (String)
 
 exception Unknown_relation of string
 
-type event = Index_build | Cache_hit | Cache_miss
+type event = Index_build | Cache_hit | Cache_miss | Plan_compile | Plan_hit
 
-(* Instrumentation hook: fired on every index-cache interaction.  The
-   default is a no-op; Dc_citation.Metrics routes events into its
-   counter registries. *)
+(* Instrumentation hooks.  [on_event] fires on every index-cache and
+   plan-cache interaction; [plan_timer] wraps each plan compilation so a
+   metrics sink can time it.  Defaults are no-ops; Dc_citation.Metrics
+   routes events into its counter/timer registries at link time. *)
 let on_event : (event -> unit) ref = ref (fun _ -> ())
+let plan_timer : ((unit -> unit) -> unit) ref = ref (fun f -> f ())
 
 module Binding = struct
   type t = R.Value.t Smap.t
@@ -41,22 +43,38 @@ end
 
 let is_truth atom = Atom.pred atom = "True" && Atom.args atom = []
 
-(* Index cache keyed by (predicate, bound positions).  Entries remember
-   the relation value they were built from; a lookup against a
-   different relation value (the database evolved) rebuilds.  This
-   makes caches shareable across evaluations and engines. *)
-type cache = (string * int list, R.Relation.t * R.Index.t) Hashtbl.t
+(* The reusable evaluation cache couples three things keyed off the same
+   database evolution story:
+   - [indexes]: hash indexes keyed by (predicate, bound positions), each
+     remembering the relation value it was built from;
+   - [plans]: compiled plans keyed by the query's printed form, each
+     remembering the relation values it captured ({!Plan.valid});
+   - [stats]: cardinality/distinct-count statistics feeding the
+     compile-time join order, self-validating the same way.
+   All three validate entries by physical identity of the current
+   relation value, so one cache serves many evaluations over evolving
+   persistent databases; stale entries rebuild transparently. *)
+type cache = {
+  indexes : (string * int list, R.Relation.t * R.Index.t) Hashtbl.t;
+  plans : (string, Plan.t) Hashtbl.t;
+  stats : R.Stats.t;
+}
 
-let make_cache () : cache = Hashtbl.create 32
+let make_cache () =
+  {
+    indexes = Hashtbl.create 32;
+    plans = Hashtbl.create 32;
+    stats = R.Stats.create ();
+  }
 
 let relation_of db pred =
   match R.Database.relation db pred with
   | Some r -> r
   | None -> raise (Unknown_relation pred)
 
-let index_for (cache : cache) db pred positions =
+let index_for cache db pred positions =
   let rel = relation_of db pred in
-  match Hashtbl.find_opt cache (pred, positions) with
+  match Hashtbl.find_opt cache.indexes (pred, positions) with
   | Some (rel0, idx) when rel0 == rel ->
       !on_event Cache_hit;
       idx
@@ -64,102 +82,59 @@ let index_for (cache : cache) db pred positions =
       !on_event Cache_miss;
       !on_event Index_build;
       let idx = R.Index.build rel positions in
-      Hashtbl.replace cache (pred, positions) (rel, idx);
+      Hashtbl.replace cache.indexes (pred, positions) (rel, idx);
       idx
 
-(* Partition an atom's argument positions into bound (constant or
-   already-bound variable) and free, under the current binding. *)
-let split_positions binding atom =
-  let rec go i bound free = function
-    | [] -> (List.rev bound, List.rev free)
-    | Term.Const c :: rest -> go (i + 1) ((i, c) :: bound) free rest
-    | Term.Var v :: rest -> (
-        match Binding.find binding v with
-        | Some c -> go (i + 1) ((i, c) :: bound) free rest
-        | None -> go (i + 1) bound ((i, v) :: free) rest)
-  in
-  go 0 [] [] (Atom.args atom)
+(* Plan-cache capacity bound.  The incremental maintainer pins fresh
+   constants into delta queries, so distinct keys are unbounded in
+   general; resetting on overflow keeps the steady-state workload (a
+   fixed set of citation views) fully cached while bounding memory. *)
+let max_plans = 1024
 
-(* Extend [binding] with the free variables of [atom] matched against
-   [tuple]; fails when a repeated free variable meets two different
-   values. *)
-let extend_with_tuple binding atom tuple =
-  let rec go binding i = function
-    | [] -> Some binding
-    | Term.Const _ :: rest -> go binding (i + 1) rest
-    | Term.Var v :: rest -> (
-        let x = R.Tuple.get tuple i in
-        match Binding.find binding v with
-        | Some existing ->
-            if R.Value.equal existing x then go binding (i + 1) rest else None
-        | None -> go (Binding.bind binding v x) (i + 1) rest)
-  in
-  go binding 0 (Atom.args atom)
+let plan_for cache db q =
+  let key = Query.to_string q in
+  match Hashtbl.find_opt cache.plans key with
+  | Some p when Plan.valid p db ->
+      !on_event Plan_hit;
+      p
+  | stale ->
+      !on_event Plan_compile;
+      let compiled = ref None in
+      !plan_timer (fun () ->
+          compiled :=
+            Some
+              (Plan.compile ~stats:cache.stats
+                 ~relation:(fun pred -> relation_of db pred)
+                 ~index:(fun pred positions ->
+                   index_for cache db pred positions)
+                 db q));
+      let p = Option.get !compiled in
+      if stale = None && Hashtbl.length cache.plans >= max_plans then
+        Hashtbl.reset cache.plans;
+      Hashtbl.replace cache.plans key p;
+      p
+
+(* Every emission of one plan binds the same variable set, so the
+   result maps all share one shape: build a name -> slot template once
+   per evaluation, then materialize each binding with [Smap.map] — a
+   straight O(slots) tree copy, no comparisons, no rebalancing. *)
+let slot_template slots =
+  let t = ref Smap.empty in
+  Array.iteri (fun i v -> t := Smap.add v i !t) slots;
+  !t
+
+let binding_of_regs template (regs : R.Value.t array) : Binding.t =
+  Smap.map (fun s -> regs.(s)) template
+
+let resolve_cache = function Some c -> c | None -> make_cache ()
 
 let bindings ?cache db q =
-  let cache =
-    match cache with Some c -> c | None -> (Hashtbl.create 8 : cache)
-  in
-  let rec join binding acc = function
-    | [] -> binding :: acc
-    | atom :: rest when is_truth atom -> join binding acc rest
-    | atom :: rest ->
-        let bound, _free = split_positions binding atom in
-        let candidates =
-          if bound = [] then R.Relation.tuples (relation_of db (Atom.pred atom))
-          else
-            let positions = List.map fst bound in
-            let key = List.map snd bound in
-            R.Index.lookup (index_for cache db (Atom.pred atom) positions) key
-        in
-        List.fold_left
-          (fun acc tuple ->
-            match extend_with_tuple binding atom tuple with
-            | Some binding -> join binding acc rest
-            | None -> acc)
-          acc candidates
-  in
-  (* Reorder body atoms greedily: start from the atom with most
-     constants, then prefer atoms sharing variables with what is already
-     bound, keeping index lookups keyed as tightly as possible.  The
-     bound-variable set is an [Sset], not a list, so scoring one atom is
-     O(args · log vars) instead of O(args · vars). *)
-  let score bound_vars atom =
-    let args = Atom.args atom in
-    let bound =
-      List.length
-        (List.filter
-           (function
-             | Term.Const _ -> true
-             | Term.Var v -> Sset.mem v bound_vars)
-           args)
-    in
-    (bound * 100) - List.length args
-  in
-  let rec order bound_vars remaining acc =
-    match remaining with
-    | [] -> List.rev acc
-    | _ ->
-        let best =
-          List.fold_left
-            (fun best a ->
-              match best with
-              | None -> Some a
-              | Some b ->
-                  if score bound_vars a > score bound_vars b then Some a
-                  else best)
-            None remaining
-        in
-        let best = Option.get best in
-        let remaining = List.filter (fun a -> not (a == best)) remaining in
-        order
-          (List.fold_left
-             (fun s v -> Sset.add v s)
-             bound_vars (Atom.var_list best))
-          remaining (best :: acc)
-  in
-  let ordered = order Sset.empty (Query.body q) [] in
-  join Binding.empty [] ordered
+  let cache = resolve_cache cache in
+  let plan = plan_for cache db q in
+  let template = slot_template (Plan.slots plan) in
+  let acc = ref [] in
+  Plan.execute plan (fun regs -> acc := binding_of_regs template regs :: !acc);
+  !acc
 
 let tuple_of_binding q binding =
   R.Tuple.make
@@ -170,15 +145,31 @@ let tuple_of_binding q binding =
        (Query.head q))
 
 let run ?cache db q =
-  let groups =
-    List.fold_left
-      (fun m b ->
-        let t = tuple_of_binding q b in
-        let existing = Option.value ~default:[] (R.Tuple.Map.find_opt t m) in
-        R.Tuple.Map.add t (b :: existing) m)
-      R.Tuple.Map.empty (bindings ?cache db q)
+  let cache = resolve_cache cache in
+  let plan = plan_for cache db q in
+  let template = slot_template (Plan.slots plan) in
+  let acc = ref [] in
+  Plan.execute plan (fun regs ->
+      acc := (Plan.head_tuple plan regs, binding_of_regs template regs) :: !acc);
+  (* group by head tuple: one sort, then collapse adjacent runs —
+     cheaper than hashing every emission into a table and sorting the
+     groups afterwards *)
+  let sorted =
+    List.stable_sort (fun (a, _) (b, _) -> R.Tuple.compare a b) !acc
   in
-  R.Tuple.Map.bindings groups
+  let rec group acc current = function
+    | [] -> (
+        match current with
+        | None -> List.rev acc
+        | Some g -> List.rev (g :: acc))
+    | (t, b) :: rest -> (
+        match current with
+        | Some (t0, bs) when R.Tuple.equal t0 t ->
+            group acc (Some (t0, b :: bs)) rest
+        | Some g -> group (g :: acc) (Some (t, [ b ])) rest
+        | None -> group acc (Some (t, [ b ])) rest)
+  in
+  group [] None sorted
 
 let result_schema q =
   let cols =
@@ -205,9 +196,135 @@ let result_schema q =
   R.Schema.make (Query.name q) cols
 
 let result ?cache db q =
-  List.fold_left
-    (fun rel (t, _) -> R.Relation.insert rel t)
-    (R.Relation.empty (result_schema q))
-    (run ?cache db q)
+  let cache = resolve_cache cache in
+  let plan = plan_for cache db q in
+  let rel = ref (R.Relation.empty (result_schema q)) in
+  Plan.execute plan (fun regs ->
+      rel := R.Relation.insert !rel (Plan.head_tuple plan regs));
+  !rel
 
-let holds ?cache db q = bindings ?cache db q <> []
+exception Found
+
+let holds ?cache db q =
+  let cache = resolve_cache cache in
+  let plan = plan_for cache db q in
+  match Plan.execute plan (fun _ -> raise_notrace Found) with
+  | () -> false
+  | exception Found -> true
+
+(* The pre-compilation interpreter, retained verbatim: the differential
+   test suite asserts compiled results identical to it on random
+   queries, and the benches use it as the baseline.  It shares the index
+   cache (and its events) with the compiled path but never touches the
+   plan cache. *)
+module Reference = struct
+  (* Partition an atom's argument positions into bound (constant or
+     already-bound variable) and free, under the current binding. *)
+  let split_positions binding atom =
+    let rec go i bound free = function
+      | [] -> (List.rev bound, List.rev free)
+      | Term.Const c :: rest -> go (i + 1) ((i, c) :: bound) free rest
+      | Term.Var v :: rest -> (
+          match Binding.find binding v with
+          | Some c -> go (i + 1) ((i, c) :: bound) free rest
+          | None -> go (i + 1) bound ((i, v) :: free) rest)
+    in
+    go 0 [] [] (Atom.args atom)
+
+  (* Extend [binding] with the free variables of [atom] matched against
+     [tuple]; fails when a repeated free variable meets two different
+     values. *)
+  let extend_with_tuple binding atom tuple =
+    let rec go binding i = function
+      | [] -> Some binding
+      | Term.Const _ :: rest -> go binding (i + 1) rest
+      | Term.Var v :: rest -> (
+          let x = R.Tuple.get tuple i in
+          match Binding.find binding v with
+          | Some existing ->
+              if R.Value.equal existing x then go binding (i + 1) rest else None
+          | None -> go (Binding.bind binding v x) (i + 1) rest)
+    in
+    go binding 0 (Atom.args atom)
+
+  let bindings ?cache db q =
+    let cache = resolve_cache cache in
+    let rec join binding acc = function
+      | [] -> binding :: acc
+      | atom :: rest when is_truth atom -> join binding acc rest
+      | atom :: rest ->
+          let bound, _free = split_positions binding atom in
+          let candidates =
+            if bound = [] then
+              R.Relation.tuples (relation_of db (Atom.pred atom))
+            else
+              let positions = List.map fst bound in
+              let key = List.map snd bound in
+              R.Index.lookup (index_for cache db (Atom.pred atom) positions) key
+          in
+          List.fold_left
+            (fun acc tuple ->
+              match extend_with_tuple binding atom tuple with
+              | Some binding -> join binding acc rest
+              | None -> acc)
+            acc candidates
+    in
+    (* Reorder body atoms greedily per evaluation: start from the atom
+       with most constants, then prefer atoms sharing variables with
+       what is already bound. *)
+    let score bound_vars atom =
+      let args = Atom.args atom in
+      let bound =
+        List.length
+          (List.filter
+             (function
+               | Term.Const _ -> true
+               | Term.Var v -> Sset.mem v bound_vars)
+             args)
+      in
+      (bound * 100) - List.length args
+    in
+    let rec order bound_vars remaining acc =
+      match remaining with
+      | [] -> List.rev acc
+      | _ ->
+          let best =
+            List.fold_left
+              (fun best a ->
+                match best with
+                | None -> Some a
+                | Some b ->
+                    if score bound_vars a > score bound_vars b then Some a
+                    else best)
+              None remaining
+          in
+          let best = Option.get best in
+          let remaining = List.filter (fun a -> not (a == best)) remaining in
+          order
+            (List.fold_left
+               (fun s v -> Sset.add v s)
+               bound_vars (Atom.var_list best))
+            remaining (best :: acc)
+    in
+    let ordered = order Sset.empty (Query.body q) [] in
+    join Binding.empty [] ordered
+
+  let run ?cache db q =
+    let groups =
+      List.fold_left
+        (fun m b ->
+          let t = tuple_of_binding q b in
+          let existing = Option.value ~default:[] (R.Tuple.Map.find_opt t m) in
+          R.Tuple.Map.add t (b :: existing) m)
+        R.Tuple.Map.empty (bindings ?cache db q)
+    in
+    R.Tuple.Map.bindings groups
+
+  let result ?cache db q =
+    List.fold_left
+      (fun rel (t, _) -> R.Relation.insert rel t)
+      (R.Relation.empty (result_schema q))
+      (run ?cache db q)
+
+  let holds ?cache db q = bindings ?cache db q <> []
+end

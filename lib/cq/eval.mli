@@ -5,20 +5,31 @@
     sums citations over "the set of all bindings for Q' that yield a
     tuple t", so the citation engine needs β_t, not just t.
 
-    Join processing is index-nested-loops: for every (relation,
-    bound-positions) pair encountered, a hash index is built once per
-    evaluation and reused.  The nullary predicate [True] is built in and
+    Evaluation dispatches through {!Plan}: the query is compiled once
+    (slot-numbered variables, cost-based join order, statically resolved
+    index probes) and the compiled plan is cached alongside the index
+    cache.  Repeated evaluations of the same query over the same extents
+    — the citation hot path — run the slot kernel directly, touching no
+    string map and allocating no per-probe key.  The pre-compilation
+    interpreter survives as {!Reference} for differential testing and
+    baseline benchmarks.  The nullary predicate [True] is built in and
     always holds. *)
 
 exception Unknown_relation of string
 
-type event = Index_build | Cache_hit | Cache_miss
+type event = Index_build | Cache_hit | Cache_miss | Plan_compile | Plan_hit
 
 val on_event : (event -> unit) ref
 (** Instrumentation hook, fired on every index-cache lookup
-    ([Cache_hit], or [Cache_miss] followed by [Index_build]).  A no-op
-    by default; {!Dc_citation.Metrics} installs a counter sink.  Not
+    ([Cache_hit], or [Cache_miss] followed by [Index_build]) and every
+    plan-cache lookup ([Plan_hit], or [Plan_compile]).  A no-op by
+    default; {!Dc_citation.Metrics} installs a counter sink.  Not
     intended for application code. *)
+
+val plan_timer : ((unit -> unit) -> unit) ref
+(** Wraps each plan compilation; the default applies the thunk
+    directly.  {!Dc_citation.Metrics} installs a timing sink so
+    compilations show up under the [plan_compile] timer. *)
 
 module Binding : sig
   (** A binding: total valuation of a query's variables. *)
@@ -43,13 +54,18 @@ module Binding : sig
 end
 
 type cache
-(** A reusable index cache.  Entries are validated against the current
-    relation value (physical equality), so one cache can safely serve
-    many evaluations over evolving persistent databases: stale entries
-    are rebuilt transparently.  Sharing a cache turns repeated
+(** A reusable evaluation cache holding hash indexes, compiled plans
+    and the statistics that feed the compile-time join order.  Plans
+    are keyed by the query's printed form; indexes by (predicate, bound
+    positions).  Every entry is validated against the current relation
+    values by physical identity, so one cache can safely serve many
+    evaluations over evolving persistent databases: stale entries are
+    rebuilt transparently.  The plan table is capacity-bounded (reset
+    on overflow) because delta queries pin fresh constants and would
+    otherwise grow it without bound.  Sharing a cache turns repeated
     evaluations over the same extents — e.g. resolving thousands of
-    parameterized citation leaves — from index-build-bound into pure
-    lookups. *)
+    parameterized citation leaves — from compile-and-index-build-bound
+    into pure slot-kernel runs. *)
 
 val make_cache : unit -> cache
 
@@ -77,4 +93,31 @@ val result :
     columns named after head variables ([ci] for constant positions). *)
 
 val holds : ?cache:cache -> Dc_relational.Database.t -> Query.t -> bool
-(** Whether the query has at least one answer (boolean query support). *)
+(** Whether the query has at least one answer (boolean query support).
+    Short-circuits on the first satisfying valuation. *)
+
+module Reference : sig
+  (** The pre-compilation interpreter, retained verbatim: per-evaluation
+      greedy atom ordering, string-map bindings, per-probe key
+      allocation.  The differential test suite asserts the compiled
+      path agrees with it on random queries, and the benches use it as
+      the baseline.  It shares the index cache (and its events) with
+      the compiled path but never touches the plan cache. *)
+
+  val bindings :
+    ?cache:cache -> Dc_relational.Database.t -> Query.t -> Binding.t list
+
+  val run :
+    ?cache:cache ->
+    Dc_relational.Database.t ->
+    Query.t ->
+    (Dc_relational.Tuple.t * Binding.t list) list
+
+  val result :
+    ?cache:cache ->
+    Dc_relational.Database.t ->
+    Query.t ->
+    Dc_relational.Relation.t
+
+  val holds : ?cache:cache -> Dc_relational.Database.t -> Query.t -> bool
+end

@@ -1,0 +1,78 @@
+(** Compiled query plans: the slot-based join kernel.
+
+    {!Eval} historically re-interpreted a conjunctive query on every
+    call: body atoms were greedily re-ordered per evaluation, bindings
+    lived in a name-keyed string map, and every index probe allocated a
+    fresh key tuple.  A plan does all of that work {e once}, at compile
+    time:
+
+    - every variable is numbered into an integer {e slot}; at run time
+      the whole valuation is a mutable [Value.t array] register file —
+      no string map is touched on the join path;
+    - body atoms are ordered once, by estimated cost from
+      {!Dc_relational.Stats} cardinalities and per-column selectivities
+      (the interpreter re-scored atoms on each evaluation);
+    - for each atom the bound/free position split is resolved
+      statically: bound positions (constants and already-bound slots)
+      become an index key filled into a preallocated buffer and probed
+      with the allocation-free {!Dc_relational.Index.lookup_key}; free
+      positions compile to [Bind]/[Check] register ops;
+    - the per-atom hash indexes are resolved (through the shared index
+      cache) at compile time and stored in the plan.
+
+    A plan captures the relation values it was compiled against:
+    {!valid} checks them by physical identity, so a cached plan is
+    transparently recompiled after the database evolves — the same
+    self-invalidation contract as the index cache.
+
+    Plans are {b not} thread-safe for concurrent {!execute} calls (the
+    per-step key buffers are shared mutable state); callers serialize
+    exactly as they already must for the shared {!Eval.cache}. *)
+
+type t
+
+type source =
+  | Const of Dc_relational.Value.t
+  | Slot of int  (** read the register file at this slot *)
+
+val compile :
+  stats:Dc_relational.Stats.t ->
+  relation:(string -> Dc_relational.Relation.t) ->
+  index:(string -> int list -> Dc_relational.Index.t) ->
+  Dc_relational.Database.t ->
+  Query.t ->
+  t
+(** [compile ~stats ~relation ~index db q] builds the plan.  [relation]
+    resolves a body predicate to its extent (raising the caller's
+    unknown-relation exception — every body predicate is resolved
+    eagerly, so compilation fails up front on a missing relation);
+    [index] supplies the hash index for a (predicate, bound-positions)
+    pair, normally {!Eval}'s shared index cache.  [db] and [stats] feed
+    the cost-based join order.  The nullary [True] atom is dropped. *)
+
+val valid : t -> Dc_relational.Database.t -> bool
+(** Whether every relation captured at compile time is still (physically)
+    the relation of that name in [db]. *)
+
+val query : t -> Query.t
+
+val slots : t -> string array
+(** The variable name held by each register slot.  Every body variable
+    of the (True-stripped) query has exactly one slot. *)
+
+val atom_order : t -> string list
+(** Predicate names of the body atoms in chosen join order (diagnostic:
+    benches and tests assert the cost-based ordering). *)
+
+val head_tuple : t -> Dc_relational.Value.t array -> Dc_relational.Tuple.t
+(** The head tuple under the given register file (constants inlined,
+    variables read from their slots). *)
+
+val execute : t -> (Dc_relational.Value.t array -> unit) -> unit
+(** Run the join.  The callback is invoked once per satisfying
+    valuation with the register file; it must read what it needs
+    immediately and {b not retain the array} — the kernel keeps
+    mutating it in place. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable plan: atoms in join order with their key positions. *)

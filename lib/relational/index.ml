@@ -1,18 +1,30 @@
-type t = { positions : int list; table : (Tuple.t, Tuple.t list) Hashtbl.t }
+(* Multi-binding table: [build] binds the projected key to each matching
+   tuple with [Tbl.add] — O(1) per tuple, no bucket-list rebuild and no
+   [find_opt]/[replace] chain scan — and [lookup] reads every binding
+   back with [find_all].  [Tuple.Tbl] hashes with the full-width
+   [Tuple.hash], so bindings spread even for wide keys. *)
+type t = { positions : int list; table : Tuple.t Tuple.Tbl.t }
 
 let build r positions =
-  let table = Hashtbl.create (max 16 (Relation.cardinality r)) in
-  Relation.iter
-    (fun tuple ->
-      let k = Tuple.project tuple positions in
-      let existing = Option.value ~default:[] (Hashtbl.find_opt table k) in
-      Hashtbl.replace table k (tuple :: existing))
-    r;
+  let table = Tuple.Tbl.create (max 16 (Relation.cardinality r)) in
+  let arr = Relation.scan r in
+  (* ascending insertion: [find_all] then yields most-recent-first, the
+     same descending-tuple bucket order the consed buckets used to
+     have *)
+  for i = 0 to Array.length arr - 1 do
+    let tuple = arr.(i) in
+    Tuple.Tbl.add table (Tuple.project tuple positions) tuple
+  done;
   { positions; table }
 
 let positions idx = idx.positions
 
-let lookup idx key =
-  Option.value ~default:[] (Hashtbl.find_opt idx.table (Tuple.make key))
+let lookup_key idx key = Tuple.Tbl.find_all idx.table key
 
-let keys idx = Hashtbl.fold (fun k _ acc -> k :: acc) idx.table []
+let lookup idx key = lookup_key idx (Tuple.make key)
+
+let keys idx =
+  Tuple.Tbl.fold
+    (fun k _ acc -> Tuple.Set.add k acc)
+    idx.table Tuple.Set.empty
+  |> Tuple.Set.elements

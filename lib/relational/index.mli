@@ -17,5 +17,11 @@ val lookup : t -> Value.t list -> Tuple.t list
 (** [lookup idx key] is every tuple whose projection on the index
     positions equals [key] (in position order). *)
 
+val lookup_key : t -> Value.t array -> Tuple.t list
+(** Like {!lookup} but probing with an already-materialized key array —
+    the compiled join kernel fills one preallocated buffer per plan step
+    and probes with it, so the hot path allocates no key per probe.  The
+    index does not retain [key]. *)
+
 val keys : t -> Tuple.t list
 (** Distinct keys present in the index. *)

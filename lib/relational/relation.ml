@@ -1,6 +1,18 @@
-type t = { schema : Schema.t; extent : Tuple.Set.t }
+(* The extent is a persistent set; [scan_cache] memoizes its array
+   rendering.  Every constructor below goes through [make] so a new
+   relation value never inherits a stale cache from the record it was
+   derived from ([{ r with ... }] would copy the mutable field).  Filling
+   the cache from two domains at once is a benign race: both compute the
+   same array from the same immutable set and one write wins (word-sized
+   pointer stores are atomic in OCaml). *)
+type t = {
+  schema : Schema.t;
+  extent : Tuple.Set.t;
+  mutable scan_cache : Tuple.t array option;
+}
 
-let empty schema = { schema; extent = Tuple.Set.empty }
+let make schema extent = { schema; extent; scan_cache = None }
+let empty schema = make schema Tuple.Set.empty
 let schema r = r.schema
 let name r = Schema.name r.schema
 
@@ -9,17 +21,34 @@ let insert r tuple =
     invalid_arg
       (Printf.sprintf "Relation.insert %s: tuple %s does not conform"
          (name r) (Tuple.to_string tuple))
-  else { r with extent = Tuple.Set.add tuple r.extent }
+  else make r.schema (Tuple.Set.add tuple r.extent)
 
 let insert_list r tuples = List.fold_left insert r tuples
-let delete r tuple = { r with extent = Tuple.Set.remove tuple r.extent }
+let delete r tuple = make r.schema (Tuple.Set.remove tuple r.extent)
 let mem r tuple = Tuple.Set.mem tuple r.extent
 let cardinality r = Tuple.Set.cardinal r.extent
 let is_empty r = Tuple.Set.is_empty r.extent
-let tuples r = Tuple.Set.elements r.extent
-let fold f r init = Tuple.Set.fold f r.extent init
-let iter f r = Tuple.Set.iter f r.extent
-let filter p r = { r with extent = Tuple.Set.filter p r.extent }
+
+let scan r =
+  match r.scan_cache with
+  | Some a -> a
+  | None ->
+      let a = Array.of_list (Tuple.Set.elements r.extent) in
+      r.scan_cache <- Some a;
+      a
+
+let tuples r = Array.to_list (scan r)
+
+let fold f r init =
+  let a = scan r in
+  let acc = ref init in
+  for i = 0 to Array.length a - 1 do
+    acc := f a.(i) !acc
+  done;
+  !acc
+
+let iter f r = Array.iter f (scan r)
+let filter p r = make r.schema (Tuple.Set.filter p r.extent)
 let of_list schema tuples = insert_list (empty schema) tuples
 
 let distinct_count r positions =

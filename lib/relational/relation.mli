@@ -19,9 +19,24 @@ val delete : t -> Tuple.t -> t
 val mem : t -> Tuple.t -> bool
 val cardinality : t -> int
 val is_empty : t -> bool
+
+val scan : t -> Tuple.t array
+(** The extent as an array in {!Tuple.compare} order, memoized on the
+    relation value (extents are immutable, so it is computed at most
+    once per value).  This is the full-scan path of the evaluator and
+    the index builder.  Callers must not mutate the array. *)
+
 val tuples : t -> Tuple.t list
+(** [Array.to_list (scan r)]: ascending tuple order.  Prefer {!scan},
+    {!iter} or {!fold} on hot paths — they share the memoized array
+    instead of building a fresh list. *)
+
 val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+(** Over the memoized {!scan} array, ascending tuple order. *)
+
 val iter : (Tuple.t -> unit) -> t -> unit
+(** Over the memoized {!scan} array, ascending tuple order. *)
+
 val filter : (Tuple.t -> bool) -> t -> t
 val of_list : Schema.t -> Tuple.t list -> t
 

@@ -1,4 +1,4 @@
-type entry = { rel : Relation.t; distincts : int option array }
+type entry = { rel : Relation.t; card : int; distincts : int option array }
 
 type t = (string, entry) Hashtbl.t
 
@@ -12,15 +12,20 @@ let entry_for stats db name =
       | Some e when e.rel == rel -> Some e
       | _ ->
           let e =
-            { rel; distincts = Array.make (Schema.arity (Relation.schema rel)) None }
+            {
+              rel;
+              (* memoized: [Set.cardinal] walks the extent, and the plan
+                 compiler asks for cardinalities O(atoms²) times per
+                 build *)
+              card = Relation.cardinality rel;
+              distincts = Array.make (Schema.arity (Relation.schema rel)) None;
+            }
           in
           Hashtbl.replace stats name e;
           Some e)
 
 let cardinality stats db name =
-  match entry_for stats db name with
-  | None -> 0
-  | Some e -> Relation.cardinality e.rel
+  match entry_for stats db name with None -> 0 | Some e -> e.card
 
 let distinct stats db name col =
   match entry_for stats db name with

@@ -24,7 +24,17 @@ let compare a b =
     go 0
 
 let equal a b = compare a b = 0
-let hash = Hashtbl.hash
+
+(* [Hashtbl.hash] samples only ~10 nodes of its argument, so wide tuples
+   agreeing on a prefix would collide systematically (index buckets
+   degrade to lists).  Fold every column instead; [Value.hash] is fine
+   per value because values are shallow. *)
+let hash t =
+  let acc = ref (Array.length t) in
+  for i = 0 to Array.length t - 1 do
+    acc := ((!acc * 31) + Value.hash t.(i)) land max_int
+  done;
+  !acc
 
 let pp ppf t =
   Format.fprintf ppf "(%a)"
@@ -43,3 +53,10 @@ end
 
 module Set = Set.Make (Ord)
 module Map = Map.Make (Ord)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

@@ -18,9 +18,18 @@ val project : t -> int list -> t
 
 val compare : t -> t -> int
 val equal : t -> t -> bool
+
 val hash : t -> int
+(** Folds {!Value.hash} over every column.  [Hashtbl.hash] is {e not}
+    usable here: it samples only a bounded prefix of the structure, so
+    wide tuples sharing a prefix collide systematically. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 
 module Set : Set.S with type elt = t
 module Map : Map.S with type key = t
+
+module Tbl : Hashtbl.S with type key = t
+(** Hash tables keyed by tuple ({!hash}/{!equal}), shared by the index
+    layer and the evaluator's result grouping. *)

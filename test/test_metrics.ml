@@ -151,14 +151,27 @@ let test_leaf_key_param_order () =
   Alcotest.(check int) "no second miss" 1 (count e M.Key.leaf_cache_misses);
   Alcotest.(check bool) "same citation" true (C.Citation.equal c1 c2)
 
+(* Warm cites are served by the compiled-plan cache: the stored plans
+   keep their index handles, so repeats fire [eval_plan_hits] rather
+   than index-cache events. *)
 let test_eval_cache_counters () =
   let e = fresh_engine () in
   ignore (E.cite e query_q);
   let builds = count e M.Key.eval_index_builds in
+  let compiles = count e M.Key.plan_compiles in
   Alcotest.(check bool) "indexes built" true (builds > 0);
+  Alcotest.(check bool) "plans compiled" true (compiles > 0);
+  let timer_s, timer_calls = M.timer (E.metrics e) "plan_compile" in
+  Alcotest.(check int) "plan_compile timer tracks compiles" compiles
+    timer_calls;
+  Alcotest.(check bool) "plan_compile timer accumulated" true (timer_s >= 0.);
   ignore (E.cite e query_q);
-  Alcotest.(check bool) "warm indexes reused" true
-    (count e M.Key.eval_cache_hits > 0)
+  Alcotest.(check bool) "warm plans reused" true
+    (count e M.Key.eval_plan_hits > 0);
+  Alcotest.(check int) "no recompilation when warm" compiles
+    (count e M.Key.plan_compiles);
+  Alcotest.(check int) "no index rebuild when warm" builds
+    (count e M.Key.eval_index_builds)
 
 (* ------------------------------------------------------------------ *)
 (* Per-domain sinks: aggregation across domains equals the sequential

@@ -49,7 +49,39 @@ let test_index () =
     (List.length (R.Index.lookup idx [ R.Value.Int 1 ]));
   Alcotest.(check int) "none under A=9" 0
     (List.length (R.Index.lookup idx [ R.Value.Int 9 ]));
-  Alcotest.(check int) "distinct keys" 2 (List.length (R.Index.keys idx))
+  Alcotest.(check int) "distinct keys" 2 (List.length (R.Index.keys idx));
+  (* lookup_key probes with a caller-owned buffer and must agree with
+     lookup; reusing the buffer across probes must not corrupt earlier
+     answers (the index does not retain the key) *)
+  let buf = [| R.Value.Int 1 |] in
+  let under_1 = R.Index.lookup_key idx buf in
+  buf.(0) <- R.Value.Int 2;
+  let under_2 = R.Index.lookup_key idx buf in
+  check_tuples "lookup_key A=1" [ int_tuple [ 1; 1 ]; int_tuple [ 1; 2 ] ]
+    under_1;
+  check_tuples "lookup_key A=2 after buffer reuse" [ int_tuple [ 2; 2 ] ]
+    under_2
+
+let test_scan_memoized () =
+  let rel =
+    R.Relation.of_list (int_schema "T" [ "A"; "B" ])
+      [ int_tuple [ 2; 2 ]; int_tuple [ 1; 1 ]; int_tuple [ 1; 2 ] ]
+  in
+  let a1 = R.Relation.scan rel in
+  Alcotest.(check int) "full extent" 3 (Array.length a1);
+  Alcotest.(check tuple_t) "ascending order" (int_tuple [ 1; 1 ]) a1.(0);
+  Alcotest.(check bool) "second scan reuses the array" true
+    (R.Relation.scan rel == a1);
+  (* deriving a new relation value must not inherit the cache *)
+  let rel' = R.Relation.insert rel (int_tuple [ 0; 0 ]) in
+  let a2 = R.Relation.scan rel' in
+  Alcotest.(check int) "derived extent" 4 (Array.length a2);
+  Alcotest.(check bool) "derived value has its own array" true (not (a2 == a1));
+  Alcotest.(check int) "original untouched" 3
+    (Array.length (R.Relation.scan rel));
+  let rel'' = R.Relation.filter (fun t -> R.Tuple.get t 0 = R.Value.Int 1) rel' in
+  Alcotest.(check int) "filter rescans" 2
+    (Array.length (R.Relation.scan rel''))
 
 let test_database_ops () =
   let db = rs_db () in
@@ -117,6 +149,7 @@ let suite =
     Alcotest.test_case "distinct_count" `Quick test_distinct_count;
     Alcotest.test_case "diff" `Quick test_diff;
     Alcotest.test_case "hash index" `Quick test_index;
+    Alcotest.test_case "scan memoization" `Quick test_scan_memoized;
     Alcotest.test_case "database ops" `Quick test_database_ops;
     Alcotest.test_case "database errors" `Quick test_database_errors;
     Alcotest.test_case "database equality" `Quick test_database_equal;

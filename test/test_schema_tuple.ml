@@ -65,6 +65,27 @@ let prop_compare_antisym =
   qtest "tuple compare antisymmetric" QCheck.(pair arb_tuple arb_tuple)
     (fun (a, b) -> (T.compare a b > 0) = (T.compare b a < 0))
 
+(* Regression: [Tuple.hash] must reach every column.  [Hashtbl.hash]
+   samples only a bounded prefix of the structure, so wide tuples
+   sharing a prefix all landed in one bucket — the citation views'
+   result grouping and the hash indexes degenerated to lists. *)
+let test_tuple_hash_full_width () =
+  let wide suffix =
+    T.make (List.init 15 (fun i -> V.Int i) @ [ V.Int suffix ])
+  in
+  let tuples = List.init 20 wide in
+  Alcotest.(check int) "generic hash collides on the shared prefix" 1
+    (List.length (List.sort_uniq compare (List.map Hashtbl.hash tuples)));
+  Alcotest.(check int) "Tuple.hash distinguishes the suffix" 20
+    (List.length (List.sort_uniq compare (List.map T.hash tuples)));
+  (* hash/equal stay consistent: equal tuples hash equal *)
+  Alcotest.(check int) "equal tuples, equal hash" (T.hash (wide 3))
+    (T.hash (T.make (T.to_list (wide 3))))
+
+let prop_hash_equal_consistent =
+  qtest "equal tuples hash equal" arb_tuple (fun t ->
+      T.hash t = T.hash (T.make (T.to_list t)))
+
 let suite =
   [
     Alcotest.test_case "schema basics" `Quick test_basics;
@@ -74,6 +95,9 @@ let suite =
     Alcotest.test_case "conforms" `Quick test_conforms;
     Alcotest.test_case "tuple ops" `Quick test_tuple_ops;
     Alcotest.test_case "tuple compare" `Quick test_tuple_compare;
+    Alcotest.test_case "tuple hash reaches every column" `Quick
+      test_tuple_hash_full_width;
     prop_project_id;
     prop_compare_antisym;
+    prop_hash_equal_consistent;
   ]
