@@ -34,7 +34,7 @@ let micro_tests () =
         (Staged.stage (fun () -> Dc_cq.Containment.equivalent q1 q2));
       Test.make ~name:"rewrite-minicon"
         (Staged.stage (fun () ->
-             Dc_rewriting.Rewrite.rewritings views Dc_gtopdb.Paper_views.query_q));
+             Dc_rewriting.Rewrite.search views Dc_gtopdb.Paper_views.query_q));
       Test.make ~name:"eval-500fam"
         (Staged.stage (fun () ->
              Dc_cq.Eval.run gen_db Dc_gtopdb.Paper_views.query_q));
@@ -117,6 +117,7 @@ let () =
       ("E16", Experiments.e16);
       ("E18", Experiments.e18);
       ("E19", Experiments.e19);
+      ("E20", Experiments.e20);
     ]
   in
   let to_run =

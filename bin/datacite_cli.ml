@@ -178,7 +178,9 @@ let rewrite_cmd =
                 in
                 Dc_rewriting.Rewrite.rewritings_under_deps ~deps vset q
           end
-          else Dc_rewriting.Rewrite.rewritings ~partial vset q
+          else
+            let o = Dc_rewriting.Rewrite.search ~partial vset q in
+            (o.Dc_rewriting.Rewrite.queries, o.Dc_rewriting.Rewrite.stats)
         in
         Format.printf "candidates: %d, verified: %d, kept: %d@."
           stats.candidates stats.verified stats.kept;

@@ -41,6 +41,15 @@ let views_arg =
   let doc = "Citation view specification file." in
   Arg.(value & opt (some file) None & info [ "views" ] ~docv:"FILE" ~doc)
 
+let program_arg =
+  let doc =
+    "Datalog program file (rules plus export/cite statements).  Its \
+     exported views are served alongside any --views, and its derived \
+     predicates (including recursive ones) are materialized before \
+     serving."
+  in
+  Arg.(value & opt (some file) None & info [ "program" ] ~docv:"FILE" ~doc)
+
 let demo_arg =
   let doc =
     "Serve the built-in GtoPdb worked example instead of --data/--views."
@@ -212,20 +221,39 @@ let recovery_arg =
     & opt (conv (parse, print)) S.Server.default_config.recovery
     & info [ "recovery" ] ~docv:"MODE" ~doc)
 
-let run data views demo host port workers domains queue max_pipeline max_batch
-    conn_buffer version_cache timeout data_dir fsync snapshot_every recovery =
+let load_program path =
+  match Dc_cq.Program.parse (read_file path) with
+  | Ok p -> p
+  | Error e ->
+      prerr_endline ("program error: " ^ e);
+      exit 1
+
+let run data views program demo host port workers domains queue max_pipeline
+    max_batch conn_buffer version_cache timeout data_dir fsync snapshot_every
+    recovery =
   let db, cvs =
     if demo then
       (Dc_gtopdb.Paper_views.example_database (), Dc_gtopdb.Paper_views.all)
     else
-      match (data, views) with
-      | Some data, Some views -> (load_db data, load_views views)
+      match (data, views, program) with
+      | Some data, Some views, _ -> (load_db data, load_views views)
+      | Some data, None, Some _ -> (load_db data, [])
       | _ ->
           prerr_endline
-            "datacite-server: pass --data DIR and --views FILE, or --demo";
+            "datacite-server: pass --data DIR with --views FILE and/or \
+             --program FILE, or --demo";
           exit 1
   in
-  let engine = C.Engine.create db cvs in
+  let engine =
+    match program with
+    | None -> C.Engine.create db cvs
+    | Some path -> (
+        let prog = load_program path in
+        try C.Engine.of_program ~views:cvs db prog
+        with Invalid_argument e ->
+          prerr_endline ("program error: " ^ e);
+          exit 1)
+  in
   let config =
     {
       S.Server.default_config with
@@ -263,7 +291,8 @@ let run data views demo host port workers domains queue max_pipeline max_batch
 let () =
   let term =
     Term.(
-      const run $ data_arg $ views_arg $ demo_arg $ host_arg $ port_arg
+      const run $ data_arg $ views_arg $ program_arg $ demo_arg $ host_arg
+      $ port_arg
       $ workers_arg $ domains_arg $ queue_arg $ max_pipeline_arg
       $ max_batch_arg $ conn_buffer_arg $ version_cache_arg $ timeout_arg
       $ data_dir_arg $ fsync_arg $ snapshot_every_arg $ recovery_arg)

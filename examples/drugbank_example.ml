@@ -6,7 +6,9 @@
    - multiple citation queries on one view (creators + version blurb);
    - a citation function (F_V) that abbreviates long author lists, the
      "et al" policy the paper's §3 "Size of citations" discusses;
-   - a query needing a join of two citation views. *)
+   - a query needing a join of two citation views;
+   - a recursive Datalog program (pathway reachability) whose exported
+     view cites everything upstream of a reaction. *)
 
 module R = Dc_relational
 module C = Dc_citation
@@ -33,6 +35,10 @@ let schema_drug_pathway =
   R.Schema.make "DrugPathway" ~key:[ "DID"; "PID" ]
     [ R.Schema.attr ~ty:R.Value.TInt "DID"; R.Schema.attr ~ty:R.Value.TInt "PID" ]
 
+let schema_pathway_link =
+  R.Schema.make "PathwayLink" ~key:[ "Src"; "Dst" ]
+    [ R.Schema.attr ~ty:R.Value.TInt "Src"; R.Schema.attr ~ty:R.Value.TInt "Dst" ]
+
 let schema_curator =
   R.Schema.make "Curator" ~key:[ "PID"; "CName" ]
     [ R.Schema.attr ~ty:R.Value.TInt "PID"; R.Schema.attr ~ty:R.Value.TStr "CName" ]
@@ -41,7 +47,13 @@ let database () =
   let open R.Value in
   let db =
     List.fold_left R.Database.create_relation R.Database.empty
-      [ schema_drug; schema_pathway; schema_drug_pathway; schema_curator ]
+      [
+        schema_drug;
+        schema_pathway;
+        schema_drug_pathway;
+        schema_pathway_link;
+        schema_curator;
+      ]
   in
   let db =
     R.Database.insert_list db "Drug"
@@ -57,13 +69,25 @@ let database () =
     R.Database.insert_list db "Pathway"
       (List.map
          (fun (p, n) -> R.Tuple.make [ Int p; Str n ])
-         [ (10, "Prostaglandin synthesis"); (11, "AMPK signaling") ])
+         [
+           (10, "Prostaglandin synthesis");
+           (11, "AMPK signaling");
+           (12, "Arachidonic acid release");
+           (13, "Membrane phospholipid metabolism");
+         ])
   in
   let db =
     R.Database.insert_list db "DrugPathway"
       (List.map
          (fun (d, p) -> R.Tuple.make [ Int d; Int p ])
          [ (1, 10); (2, 10); (3, 11) ])
+  in
+  let db =
+    (* pathway precedence: 13 feeds 12 feeds 10 *)
+    R.Database.insert_list db "PathwayLink"
+      (List.map
+         (fun (s, d) -> R.Tuple.make [ Int s; Int d ])
+         [ (13, 12); (12, 10) ])
   in
   R.Database.insert_list db "Curator"
     (List.map
@@ -74,6 +98,8 @@ let database () =
          (10, "Curator C");
          (10, "Curator D");
          (11, "Curator E");
+         (12, "Curator F");
+         (13, "Curator G");
        ])
 
 (* F_V: keep at most 3 curator snippets, appending an "et al" marker —
@@ -107,6 +133,21 @@ let v_drug_pathway =
     ~view:(parse "VDrugPathway(DID,PID) :- DrugPathway(DID,PID)")
     ~citations:[ parse "CVDrugPathway(D) :- D=\"DrugBank release 5.1\"" ]
     ()
+
+(* "Cite everything upstream of this reaction": pathway reachability is
+   a recursive view, so it enters through a Datalog program — the
+   engine materializes [Upstream] with semi-naive evaluation and the
+   exported view (with its curator citation query) behaves like any
+   other citation view. *)
+let upstream_program =
+  Cq.Program.parse_exn
+    {|
+  Upstream(S,D) :- PathwayLink(S,D);
+  Upstream(S,D) :- PathwayLink(S,M), Upstream(M,D);
+  export lambda PID. VUpstream(PID,S,PWName) :- Upstream(S,PID), Pathway(S,PWName);
+  cite lambda PID. CVUpstream(PID,CName) :- Upstream(S,PID), Curator(S,CName);
+  cite CVUpstreamSrc(D) :- D="Reactome-style pathway db"
+|}
 
 let () =
   let db = database () in
@@ -142,4 +183,19 @@ let () =
   | Some tc ->
       print_endline (C.Fmt_citation.render C.Fmt_citation.Human tc.citations));
   Format.printf "@.Whole-answer citation as RIS:@.";
-  print_endline (C.Fmt_citation.render C.Fmt_citation.Ris result.result_citations)
+  print_endline (C.Fmt_citation.render C.Fmt_citation.Ris result.result_citations);
+  (* --- recursive citation view ------------------------------------ *)
+  let engine_up = C.Engine.of_program ~selection:`All db upstream_program in
+  Format.printf
+    "@.Everything upstream of 'Prostaglandin synthesis' (recursive \
+     reachability, curators of every upstream pathway cited):@.";
+  let up_query =
+    parse "QUp(S,PWName) :- Upstream(S,10), Pathway(S,PWName)"
+  in
+  let up_result = C.Engine.cite engine_up up_query in
+  List.iter
+    (fun (tc : C.Engine.tuple_citation) ->
+      Format.printf "  %a : %a@." R.Tuple.pp tc.tuple C.Cite_expr.pp tc.expr)
+    up_result.tuples;
+  print_endline
+    (C.Fmt_citation.render C.Fmt_citation.Human up_result.result_citations)

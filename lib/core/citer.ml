@@ -1,5 +1,23 @@
 module Cq = Dc_cq
 
+type capabilities = {
+  backend : string;
+  supports_versions : bool;
+  supports_recursion : bool;
+  shards : int;
+}
+
+let pp_capabilities ppf c =
+  Format.fprintf ppf "%s (shards=%d, versions=%b, recursion=%b)" c.backend
+    c.shards c.supports_versions c.supports_recursion
+
+let capabilities_to_string c = Format.asprintf "%a" pp_capabilities c
+
+let capabilities_to_json c =
+  Printf.sprintf
+    "{\"backend\":\"%s\",\"shards\":%d,\"supports_versions\":%b,\"supports_recursion\":%b}"
+    c.backend c.shards c.supports_versions c.supports_recursion
+
 module type S = sig
   type t
 
@@ -7,9 +25,12 @@ module type S = sig
   val cite_string : t -> string -> (Engine.result, string) Stdlib.result
   val cite_batch : t -> Cq.Query.t list -> Engine.result list
   val metrics : t -> Metrics.t
+  val describe : t -> capabilities
 end
 
 type t = Citer : (module S with type t = 'a) * 'a -> t
+
+let engine_recursion eng = Engine.recursive_predicates eng <> []
 
 module Engine_citer = struct
   type t = Engine.t
@@ -18,6 +39,14 @@ module Engine_citer = struct
   let cite_string = Engine.cite_string
   let cite_batch e qs = List.map (Engine.cite e) qs
   let metrics = Engine.metrics
+
+  let describe e =
+    {
+      backend = "engine";
+      supports_versions = false;
+      supports_recursion = engine_recursion e;
+      shards = 1;
+    }
 end
 
 module Sharded_citer = struct
@@ -31,6 +60,14 @@ module Sharded_citer = struct
      CITER signature deliberately leaves out. *)
   let cite_batch s qs = List.map (Sharded_engine.cite s) qs
   let metrics = Sharded_engine.metrics
+
+  let describe s =
+    {
+      backend = "sharded";
+      supports_versions = false;
+      supports_recursion = engine_recursion (Sharded_engine.primary s);
+      shards = Sharded_engine.shard_count s;
+    }
 end
 
 module Versioned_citer = struct
@@ -49,6 +86,14 @@ module Versioned_citer = struct
   let cite_string = Versioned_engine.cite_string
   let cite_batch v qs = List.map (cite v) qs
   let metrics = Versioned_engine.metrics
+
+  let describe v =
+    {
+      backend = "versioned";
+      supports_versions = true;
+      supports_recursion = engine_recursion (Versioned_engine.template v);
+      shards = 1;
+    }
 end
 
 let of_engine e = Citer ((module Engine_citer), e)
@@ -59,3 +104,4 @@ let cite (Citer ((module M), x)) q = M.cite x q
 let cite_string (Citer ((module M), x)) src = M.cite_string x src
 let cite_batch (Citer ((module M), x)) qs = M.cite_batch x qs
 let metrics (Citer ((module M), x)) = M.metrics x
+let describe (Citer ((module M), x)) = M.describe x

@@ -8,7 +8,23 @@
 
     Backend-specific capabilities (versioned [cite_at], pool-parallel
     batch citing) stay on the backend modules — CITER is the common
-    core, not the union. *)
+    core, not the union.  {!describe} reports {e which} backend and
+    what it can do, so the REPL's [:stats], the server's v2 [HEALTH]
+    and the bench banners stop probing engines ad hoc. *)
+
+type capabilities = {
+  backend : string;  (** ["engine"], ["sharded"] or ["versioned"] *)
+  supports_versions : bool;  (** [cite_at]/[commit_delta] available *)
+  supports_recursion : bool;
+      (** the underlying engine carries a Datalog program with at least
+          one recursive predicate *)
+  shards : int;  (** replica count; [1] for unsharded backends *)
+}
+
+val pp_capabilities : Format.formatter -> capabilities -> unit
+val capabilities_to_string : capabilities -> string
+val capabilities_to_json : capabilities -> string
+(** One-line JSON object over the four labeled fields. *)
 
 module type S = sig
   type t
@@ -24,6 +40,7 @@ module type S = sig
       pool-parallel entry point. *)
 
   val metrics : t -> Metrics.t
+  val describe : t -> capabilities
 end
 
 type t = Citer : (module S with type t = 'a) * 'a -> t
@@ -41,3 +58,4 @@ val cite : t -> Dc_cq.Query.t -> Engine.result
 val cite_string : t -> string -> (Engine.result, string) Stdlib.result
 val cite_batch : t -> Dc_cq.Query.t list -> Engine.result list
 val metrics : t -> Metrics.t
+val describe : t -> capabilities

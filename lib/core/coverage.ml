@@ -20,7 +20,7 @@ let analyze ?db views workload =
   let per_query =
     List.map
       (fun q ->
-        let rewritings, _ = Rw.Rewrite.rewritings views q in
+        let rewritings = (Rw.Rewrite.search views q).Rw.Rewrite.queries in
         let n = List.length rewritings in
         let min_size =
           match (db, rewritings) with
@@ -56,7 +56,7 @@ let coverage_ratio r =
 let covered_count views workload =
   List.length
     (List.filter
-       (fun q -> Rw.Rewrite.equivalent_rewritings views q <> [])
+       (fun q -> (Rw.Rewrite.search views q).Rw.Rewrite.queries <> [])
        workload)
 
 let greedy_minimal_views views workload =
@@ -90,7 +90,7 @@ let pp_report ppf r =
     r.per_query
 
 let suggest_views ?(prefix = "Suggested") views workload =
-  let covered vset q = Rw.Rewrite.equivalent_rewritings vset q <> [] in
+  let covered vset q = (Rw.Rewrite.search vset q).Rw.Rewrite.queries <> [] in
   let uncovered = List.filter (fun q -> not (covered views q)) workload in
   (* each uncovered query, as a view over the base schema; adding a
      suggestion may cover later uncovered queries, so re-check against

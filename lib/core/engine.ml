@@ -32,7 +32,12 @@ type plan_cache = {
 }
 
 type t = {
-  base : R.Database.t;
+  base : R.Database.t;  (** EDB relations only *)
+  derived : R.Database.t;
+      (** IDB extents materialized from [program] by {!Dc_cq.Seminaive};
+          empty for program-free engines *)
+  full : R.Database.t;  (** [base] + [derived]: what citation queries see *)
+  program : Cq.Program.t option;
   cviews : Citation_view.Set.t;
   views : Rw.View.Set.t;
   view_db : R.Database.t;
@@ -74,36 +79,51 @@ let materialize ?cache base cviews =
     R.Database.empty
     (Citation_view.Set.to_list cviews)
 
-let create ?(policy = Policy.default) ?(selection = `Min_estimated_size)
-    ?(partial = false) ?(fallback_contained = false) ?pool ?metrics base
-    cview_list =
+let merge_full base derived =
+  List.fold_left R.Database.add_relation base (R.Database.relations derived)
+
+(* Materialize a program's IDB predicates into their own database; the
+   semi-naive run validates name collisions and stratification was
+   checked at [Program.make] time. *)
+let derive ?cache base (program : Cq.Program.t) =
+  let out = Cq.Seminaive.run ?cache base program.strat in
+  List.fold_left
+    (fun d p -> R.Database.add_relation d (R.Database.relation_exn out p))
+    R.Database.empty
+    (Cq.Program.idb_preds program)
+
+let make_engine ~policy ~selection ~partial ~fallback_contained ~pool ~metrics
+    ~program ~eval_cache base derived cview_list =
+  let full = merge_full base derived in
   List.iter
     (fun cv ->
       let n = Citation_view.name cv in
-      if R.Database.mem_relation base n then
+      if R.Database.mem_relation full n then
         invalid_arg
           (Printf.sprintf
              "Engine.create: view %s collides with a base relation" n);
       List.iter
         (fun q ->
-          match Cq.Schema_check.check_query_res base q with
+          match Cq.Schema_check.check_query_res full q with
           | Ok () -> ()
           | Error e ->
               invalid_arg (Printf.sprintf "Engine.create: view %s: %s" n e))
         (Citation_view.definition cv :: Citation_view.citation_queries cv))
     cview_list;
   let cviews = Citation_view.Set.of_list cview_list in
-  let eval_cache = Cq.Eval.make_cache () in
   let metrics =
     match metrics with Some m -> m | None -> Metrics.create ()
   in
   let view_db =
     Metrics.with_sink metrics (fun () ->
         Metrics.record_time "materialize" (fun () ->
-            materialize ~cache:eval_cache base cviews))
+            materialize ~cache:eval_cache full cviews))
   in
   {
     base;
+    derived;
+    full;
+    program;
     cviews;
     views = Citation_view.Set.view_set cviews;
     view_db;
@@ -122,6 +142,33 @@ let create ?(policy = Policy.default) ?(selection = `Min_estimated_size)
     lock = Mutex.create ();
   }
 
+let create ?(policy = Policy.default) ?(selection = `Min_estimated_size)
+    ?(partial = false) ?(fallback_contained = false) ?pool ?metrics base
+    cview_list =
+  make_engine ~policy ~selection ~partial ~fallback_contained ~pool ~metrics
+    ~program:None ~eval_cache:(Cq.Eval.make_cache ()) base R.Database.empty
+    cview_list
+
+let of_program ?(policy = Policy.default) ?(selection = `Min_estimated_size)
+    ?(partial = false) ?(fallback_contained = false) ?pool ?metrics
+    ?(views = []) base program =
+  let eval_cache = Cq.Eval.make_cache () in
+  let derived = derive ~cache:eval_cache base program in
+  let cview_list =
+    List.map
+      (fun (e : Cq.Program.export) ->
+        match Citation_view.make ~view:e.view ~citations:e.citations () with
+        | Ok cv -> cv
+        | Error err ->
+            invalid_arg
+              (Printf.sprintf "Engine.of_program: export %s: %s"
+                 (Cq.Query.name e.view) err))
+      (Cq.Program.unfold_exports program)
+    @ views
+  in
+  make_engine ~policy ~selection ~partial ~fallback_contained ~pool ~metrics
+    ~program:(Some program) ~eval_cache base derived cview_list
+
 (* A shard replica: same immutable data (base, materialized views, view
    set, policy, pool) and the same metrics registry, but private caches
    and a private lock.  Replicas therefore never contend on the hot
@@ -137,6 +184,15 @@ let replicate e =
   }
 
 let database e = e.base
+let derived_database e = e.derived
+let program e = e.program
+
+let derived_predicates e =
+  match e.program with None -> [] | Some p -> Cq.Program.idb_preds p
+
+let recursive_predicates e =
+  match e.program with None -> [] | Some p -> Cq.Program.recursive_preds p
+
 let citation_views e = e.cviews
 let policy e = e.policy
 let selection e = e.selection
@@ -145,23 +201,49 @@ let eval_cache e = e.eval_cache
 let metrics e = e.metrics
 
 (* [refresh] and [with_databases] change only the data, never the view
-   set, so the plan cache (rewritings depend on views alone) and the
-   eval cache (entries self-invalidate on relation identity) are kept;
-   only the leaf cache — concrete citations computed from the data —
-   must be dropped. *)
+   set or rule set, so the plan cache (rewritings depend on views alone)
+   and the eval cache (entries self-invalidate on relation identity) are
+   kept; only the leaf cache — concrete citations computed from the
+   data — must be dropped.  [refresh] re-derives the program's IDB
+   extents before rematerializing the views over them. *)
 let refresh e base =
+  let derived, view_db =
+    Metrics.with_sink e.metrics (fun () ->
+        locked e (fun () ->
+            let derived =
+              match e.program with
+              | None -> R.Database.empty
+              | Some p ->
+                  Metrics.record_time "derive" (fun () ->
+                      derive ~cache:e.eval_cache base p)
+            in
+            let full = merge_full base derived in
+            let view_db =
+              Metrics.record_time "materialize" (fun () ->
+                  materialize ~cache:e.eval_cache full e.cviews)
+            in
+            (derived, view_db)))
+  in
   {
     e with
     base;
-    view_db =
-      Metrics.with_sink e.metrics (fun () ->
-          Metrics.record_time "materialize" (fun () ->
-              locked e (fun () -> materialize ~cache:e.eval_cache base e.cviews)));
+    derived;
+    full = merge_full base derived;
+    view_db;
     leaf_cache = Hashtbl.create 64;
   }
 
+(* The caller asserts [view_db] matches [base]; derived extents are kept
+   as-is.  {!Versioned_engine}'s registration guard refuses queries that
+   read derived predicates, so maintained engines never observe them. *)
 let with_databases e ~base ~view_db =
-  { e with base; view_db; leaf_cache = Hashtbl.create 64 }
+  {
+    e with
+    base;
+    full = merge_full base e.derived;
+    view_db;
+    leaf_cache = Hashtbl.create 64;
+  }
 
 type tuple_citation = {
   tuple : R.Tuple.t;
@@ -201,7 +283,7 @@ let resolve_leaf e (l : Cite_expr.leaf) =
   | None ->
       Metrics.record Metrics.Key.leaf_cache_misses;
       let cv = Citation_view.Set.find_exn e.cviews l.view in
-      let c = Citation_view.cite ~cache:e.eval_cache cv e.base l.params in
+      let c = Citation_view.cite ~cache:e.eval_cache cv e.full l.params in
       Hashtbl.add e.leaf_cache k c;
       c
 
@@ -209,15 +291,16 @@ let select e rewritings =
   match (e.selection, rewritings) with
   | `All, _ | _, ([] | [ _ ]) -> rewritings
   | `Min_estimated_size, rs ->
-      Option.to_list (Rw.Cost.choose_min_size e.base e.views rs)
+      Option.to_list (Rw.Cost.choose_min_size e.full e.views rs)
   | `Min_exact_size, rs ->
-      Option.to_list (Rw.Cost.choose_min_size ~exact:true e.base e.views rs)
+      Option.to_list (Rw.Cost.choose_min_size ~exact:true e.full e.views rs)
 
 (* Rewritings are evaluated over the materialized views merged with the
-   base relations: a partial rewriting's uncovered subgoals reference
-   the base schema directly. *)
+   base and derived relations: a partial rewriting's uncovered subgoals
+   reference the base schema (or a recursive predicate's materialized
+   extent) directly. *)
 let eval_db e =
-  List.fold_left R.Database.add_relation e.base
+  List.fold_left R.Database.add_relation e.full
     (R.Database.relations e.view_db)
 
 let merged_database = eval_db
@@ -284,9 +367,9 @@ let plan_for e query =
           plan
       | None ->
           Metrics.record Metrics.Key.plan_cache_misses;
-          let rewritings, stats =
+          let { Rw.Rewrite.queries = rewritings; stats } =
             Metrics.record_time "rewrite" (fun () ->
-                Rw.Rewrite.rewritings ~partial:e.partial ?pool:e.pool e.views
+                Rw.Rewrite.search ~partial:e.partial ?pool:e.pool e.views
                   stripped)
           in
           let plan =

@@ -77,6 +77,31 @@ val create :
     {!Versioned_engine} uses this to aggregate all its per-version
     engines into one registry. *)
 
+val of_program :
+  ?policy:Policy.t ->
+  ?selection:selection ->
+  ?partial:bool ->
+  ?fallback_contained:bool ->
+  ?pool:Dc_parallel.Domain_pool.t ->
+  ?metrics:Metrics.t ->
+  ?views:Citation_view.t list ->
+  Dc_relational.Database.t ->
+  Dc_cq.Program.t ->
+  t
+(** An engine over a Datalog program: the one door through which rules,
+    views and citation queries all enter.  The program's IDB predicates
+    are materialized with {!Dc_cq.Seminaive} (stratified, semi-naive)
+    into a {e derived} store kept beside the base database; its exports
+    become citation views, with non-recursive IDB predicates unfolded
+    into the view bodies ({!Dc_cq.Program.unfold_exports}) so rewriting
+    sees through them, and recursive predicates left as atoms over
+    their materialized extents — treated exactly like base relations by
+    the rewriting search.  [views] appends hand-built citation views
+    (e.g. ones needing a [post] hook) on top of the program's exports.
+
+    Raises [Invalid_argument] on IDB/base name collisions, malformed
+    exports, or schema mismatches. *)
+
 val replicate : t -> t
 (** A shard replica: shares the immutable data (base database,
     materialized views — nothing is rematerialized), the policy, the
@@ -85,6 +110,25 @@ val replicate : t -> t
     above; {!Sharded_engine} builds on this. *)
 
 val database : t -> Dc_relational.Database.t
+(** The base (EDB) database only — what {!refresh}, the version store
+    and the WAL operate on; derived extents are recomputed, never
+    stored or shipped. *)
+
+val derived_database : t -> Dc_relational.Database.t
+(** The materialized IDB extents of the engine's program; empty for
+    engines built with {!create}. *)
+
+val program : t -> Dc_cq.Program.t option
+
+val derived_predicates : t -> string list
+(** IDB predicate names of the program, stratum order; [[]] without a
+    program. *)
+
+val recursive_predicates : t -> string list
+(** The subset of {!derived_predicates} computed by fixpoint iteration.
+    Registering incremental maintenance over these is refused — see
+    {!Versioned_engine.register}. *)
+
 val citation_views : t -> Citation_view.Set.t
 val policy : t -> Policy.t
 

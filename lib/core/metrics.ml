@@ -31,6 +31,8 @@ module Key = struct
   let wal_group_commits = "wal_group_commits"
   let snapshots_written = "snapshots_written"
   let recovery_replayed_deltas = "recovery_replayed_deltas"
+  let datalog_fixpoints = "datalog_fixpoints"
+  let datalog_iterations = "datalog_iterations"
 
   let all =
     [
@@ -63,6 +65,8 @@ module Key = struct
       wal_group_commits;
       snapshots_written;
       recovery_replayed_deltas;
+      datalog_fixpoints;
+      datalog_iterations;
     ]
 end
 
@@ -372,6 +376,11 @@ let () =
      | Rw.Rewrite.Candidate -> record Key.rewriting_candidates
      | Rw.Rewrite.Verified -> record Key.rewriting_verified
      | Rw.Rewrite.Kept -> record Key.rewriting_kept);
+  Cq.Seminaive.on_event :=
+    (function
+     | Cq.Seminaive.Fixpoint -> record Key.datalog_fixpoints
+     | Cq.Seminaive.Iteration -> record Key.datalog_iterations);
+  (Cq.Seminaive.run_timer := fun f -> record_time "datalog_fixpoint" f);
   let previous = !Dc_parallel.Domain_pool.capture_context in
   Dc_parallel.Domain_pool.capture_context :=
     fun () ->

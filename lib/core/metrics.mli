@@ -139,6 +139,16 @@ module Key : sig
   (** Committed deltas replayed from the WAL during crash recovery
       (time under the [recovery_replay] timer). *)
 
+  val datalog_fixpoints : string
+  (** Recursive-stratum fixpoints run to completion by
+      {!Dc_cq.Seminaive} (time under the [datalog_fixpoint] timer;
+      the engine's full derivations also time under [derive]). *)
+
+  val datalog_iterations : string
+  (** Delta-iteration rounds across all recursive-stratum fixpoints —
+      [datalog_iterations / datalog_fixpoints] is the mean rounds to
+      converge. *)
+
   val all : string list
   (** Every key above, in canonical display order. *)
 end

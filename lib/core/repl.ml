@@ -4,6 +4,9 @@ module Cq = Dc_cq
 type state = {
   db : R.Database.t option;
   views : Citation_view.t list;
+  program : Cq.Program.t option;
+      (* Datalog program: its exports become citation views and its IDB
+         predicates are materialized into the engine's derived layer *)
   pending_view : Cq.Query.t option;
   pending_cites : Cq.Query.t list;
   policy : Policy.t;
@@ -20,6 +23,7 @@ let initial =
   {
     db = None;
     views = [];
+    program = None;
     pending_view = None;
     pending_cites = [];
     policy = Policy.default;
@@ -33,6 +37,7 @@ let help_text =
   "commands:\n\
   \  load data <dir>      load a CSV database (schema.spec + *.csv)\n\
   \  load views <file>    load a view spec file\n\
+  \  load program <file>  load a Datalog program (rules, export, cite)\n\
   \  defaults [blurb]     install generated default citation views\n\
   \  view <CQ>            begin a citation view definition\n\
   \  cite <CQ>            attach a citation query to the pending view\n\
@@ -86,7 +91,13 @@ let build_engine st db =
   | None -> (
       try
         let engine =
-          Engine.create ~policy:st.policy ~selection:st.selection db st.views
+          match st.program with
+          | None ->
+              Engine.create ~policy:st.policy ~selection:st.selection db
+                st.views
+          | Some program ->
+              Engine.of_program ~policy:st.policy ~selection:st.selection
+                ~views:st.views db program
         in
         Ok ({ st with engine = Some engine }, engine)
       with Invalid_argument e -> Error e)
@@ -204,7 +215,29 @@ let eval st line =
                   ( { st with views = st.views @ vs; engine = None },
                     Printf.sprintf "loaded %d views" (List.length vs) )
               | Error e -> (st, e))
-        | _ -> (st, "usage: load data <dir> | load views <file>"))
+        | "program" -> (
+            if not (Sys.file_exists arg) then (st, "no such file: " ^ arg)
+            else
+              let ic = open_in arg in
+              let contents = really_input_string ic (in_channel_length ic) in
+              close_in ic;
+              match Cq.Program.parse contents with
+              | Ok p ->
+                  ( { st with program = Some p; engine = None },
+                    Printf.sprintf
+                      "loaded program: %d rules in %d strata, %d derived \
+                       predicate(s)%s, %d export(s)"
+                      (List.length (Cq.Program.rules p))
+                      (List.length (Cq.Program.strata p))
+                      (List.length (Cq.Program.idb_preds p))
+                      (match Cq.Program.recursive_preds p with
+                      | [] -> ""
+                      | rs ->
+                          Printf.sprintf " (recursive: %s)"
+                            (String.concat ", " rs))
+                      (List.length (Cq.Program.exports p)) )
+              | Error e -> (st, e))
+        | _ -> (st, "usage: load data <dir> | load views <file> | load program <file>"))
     | "defaults" ->
         with_db st (fun db ->
             let blurb = if rest = "" then "this database" else rest in
@@ -310,12 +343,24 @@ let eval st line =
           if Bibliography.entries st.bibliography = [] then "bibliography empty"
           else Bibliography.render st.bibliography )
     | "stats" | ":stats" ->
-        let m =
+        let m, caps =
           match st.engine with
-          | Some engine -> Engine.metrics engine
-          | None -> Metrics.default
+          | Some engine ->
+              ( Engine.metrics engine,
+                Citer.describe (Citer.of_engine engine) )
+          | None ->
+              ( Metrics.default,
+                {
+                  Citer.backend = "none";
+                  supports_versions = false;
+                  supports_recursion = false;
+                  shards = 0;
+                } )
         in
-        (st, String.trim (Format.asprintf "%a" Metrics.pp m))
+        ( st,
+          Printf.sprintf "engine: %s\n%s"
+            (Citer.capabilities_to_string caps)
+            (String.trim (Format.asprintf "%a" Metrics.pp m)) )
     | "serve" | ":serve" -> (st, serve_text)
     | other -> (st, Printf.sprintf "unknown command %s (try: help)" other)
 

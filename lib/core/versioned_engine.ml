@@ -86,6 +86,15 @@ let create ?policy ?selection ?partial ?fallback_contained ?pool ?capacity
     (Engine.create ?policy ?selection ?partial ?fallback_contained ?pool
        ~metrics db views)
 
+let create_program ?policy ?selection ?partial ?fallback_contained ?pool
+    ?capacity ?metrics ?views db prog =
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  of_engine ?capacity
+    (Engine.of_program ?policy ?selection ?partial ?fallback_contained ?pool
+       ~metrics ?views db prog)
+
+let template t = t.template
+
 let set_durability t store =
   committing t (fun () -> t.durability <- Some store)
 
@@ -212,6 +221,50 @@ let cite_string t src =
   | Error e -> Error e
   | Ok q -> Result.map (fun c -> c.result) (cite t q)
 
+(* Incremental maintenance propagates deltas through {e base} relations
+   only ({!Incremental.apply_delta} reads [Delta.relations_touched]):
+   an extent derived by the Datalog engine changes when its EDB inputs
+   change, but no delta ever names it, so a registration reading one —
+   directly or through a citation view whose definition mentions one —
+   would serve stale answers forever.  Silent staleness being the
+   failure mode, such registrations are refused loudly here; recursive
+   predicates would additionally need fixpoint re-iteration per delta.
+   Clients re-cite after commit instead ([cite_at] re-derives). *)
+let guard_derived eng q reg =
+  match Engine.derived_predicates eng with
+  | [] -> Ok ()
+  | derived -> (
+      let cviews = Engine.citation_views eng in
+      let reads_of rw =
+        List.concat_map
+          (fun p ->
+            match Citation_view.Set.find cviews p with
+            | Some cv ->
+                p :: Cq.Query.predicates (Citation_view.definition cv)
+            | None -> [ p ])
+          (Cq.Query.predicates rw)
+      in
+      let reads =
+        List.concat_map reads_of
+          (Cq.Query.strip_params q :: Incremental.selected reg)
+      in
+      match List.find_opt (fun p -> List.mem p derived) reads with
+      | None -> Ok ()
+      | Some p ->
+          let recursive =
+            List.mem p (Engine.recursive_predicates eng)
+          in
+          Error
+            (Printf.sprintf
+               "REGISTER refused: query %s reads %s predicate %s; \
+                incremental maintenance over Datalog-derived predicates \
+                is not supported (deltas name base relations only, so \
+                the registration would go stale silently) — cite after \
+                each commit instead"
+               (Cq.Query.name q)
+               (if recursive then "recursive Datalog" else "Datalog-derived")
+               p))
+
 let register_gen ~durable t q =
   committing t @@ fun () ->
   let hd = VS.head t.store in
@@ -221,6 +274,7 @@ let register_gen ~durable t q =
      must never share caches with an engine serving concurrent
      citations. *)
   let reg = Incremental.register (Engine.replicate eng) q in
+  Result.bind (guard_derived eng q reg) @@ fun () ->
   let key = reg_key q in
   let logged =
     match t.durability with

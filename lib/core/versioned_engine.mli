@@ -60,6 +60,24 @@ val create :
     {!Engine.create} and apply to every per-version engine; [capacity]
     (default 4, minimum 1) bounds the LRU engine cache. *)
 
+val create_program :
+  ?policy:Policy.t ->
+  ?selection:Engine.selection ->
+  ?partial:bool ->
+  ?fallback_contained:bool ->
+  ?pool:Dc_parallel.Domain_pool.t ->
+  ?capacity:int ->
+  ?metrics:Metrics.t ->
+  ?views:Citation_view.t list ->
+  Dc_relational.Database.t ->
+  Dc_cq.Program.t ->
+  t
+(** {!create} over a Datalog program (see {!Engine.of_program}): the
+    EDB database becomes version 0; every per-version engine re-derives
+    the program's IDB extents for its version's EDB state.  Deltas and
+    the version store remain EDB-only — committing a delta that names
+    an IDB predicate fails like any unknown relation. *)
+
 val of_engine :
   ?capacity:int -> ?store:Dc_relational.Version_store.t -> Engine.t -> t
 (** Wrap an existing engine as version 0 of a fresh store.  The
@@ -121,11 +139,25 @@ val cite_string : t -> string -> (Engine.result, string) Stdlib.result
 (** Parse and cite at head, dropping the stamp — the {!Citer}-shaped
     entry point. *)
 
+val template : t -> Engine.t
+(** The pristine template replica per-version engines are refreshed
+    from; exposes creation-time configuration (program, views, policy)
+    without materializing a version. *)
+
 val register : t -> Dc_cq.Query.t -> (unit, string) result
 (** Register the query for incremental maintenance at head: subsequent
     {!commit_delta}s update its cached citations by delta rules, and
     head-version {!cite_at}s of the same query are served from the
-    registration. *)
+    registration.
+
+    {b Derived-predicate guard.}  [Error] — registration refused, no
+    state changed — when the query, a selected rewriting, or the
+    definition of a citation view those use reads a predicate derived
+    by the engine's Datalog program.  Deltas name base relations only,
+    so such a registration could not be maintained and would go stale
+    silently; recursive predicates would additionally need per-delta
+    fixpoint re-iteration.  Cite after each commit instead (per-version
+    engines re-derive IDB extents). *)
 
 val commit_delta : t -> Dc_relational.Delta.t -> (Dc_relational.Version_store.version, string) result
 (** Apply a delta to the head and commit the result as the new head,

@@ -109,6 +109,7 @@ let tokenize src =
 type state = { mutable toks : (token * int) list }
 
 let peek st = match st.toks with [] -> (EOF, -1) | t :: _ -> t
+let peek2 st = match st.toks with _ :: t :: _ -> t | _ -> (EOF, -1)
 
 let advance st =
   match st.toks with [] -> () | _ :: rest -> st.toks <- rest
@@ -263,6 +264,114 @@ let parse_query src =
 
 let parse_query_exn src =
   match parse_query src with Ok q -> q | Error e -> invalid_arg e
+
+(* ------------------------------------------------------------------ *)
+(* Datalog rules and program statements                                *)
+
+(* A rule body item: a positive or negated relational atom, or an
+   equality eliminated by substitution (as in queries).  [not] is a
+   keyword only when followed by another identifier, so a predicate
+   named "not" stays expressible as [not(...)]. *)
+type rule_item = RPos of Atom.t | RNeg of Atom.t | REq of string * Value.t
+
+let parse_rule_item st =
+  match (peek st, peek2 st) with
+  | (IDENT "not", _), (IDENT _, _) ->
+      advance st;
+      let name = parse_ident st in
+      RNeg (Atom.make name (parse_term_list st))
+  | _ -> (
+      match parse_body_item st with
+      | BAtom a -> RPos a
+      | BEq (v, c) -> REq (v, c))
+
+(* Parses [Head(args) :- item, item, ...] into a safety-checked rule.
+   Equalities substitute into the head and both literal polarities; an
+   all-equality body leaves the vacuous [True] atom. *)
+let parse_rule_tail st name =
+  let head_args = parse_term_list st in
+  expect st TURNSTILE "':-'";
+  let rec go acc =
+    let item = parse_rule_item st in
+    match peek st with
+    | COMMA, _ ->
+        advance st;
+        go (item :: acc)
+    | _ -> List.rev (item :: acc)
+  in
+  let items = go [] in
+  let eqs =
+    List.filter_map
+      (function REq (v, c) -> Some (v, Term.Const c) | _ -> None)
+      items
+  in
+  let s = Subst.of_list eqs in
+  let head = Atom.make name (List.map (Subst.apply_term s) head_args) in
+  let lits =
+    List.filter_map
+      (function
+        | RPos a -> Some (Rule.Pos (Subst.apply_atom s a))
+        | RNeg a -> Some (Rule.Neg (Subst.apply_atom s a))
+        | REq _ -> None)
+      items
+  in
+  let has_positive =
+    List.exists (function Rule.Pos _ -> true | Rule.Neg _ -> false) lits
+  in
+  let lits =
+    if has_positive then lits else Rule.Pos (Atom.make "True" []) :: lits
+  in
+  match Rule.make ~head ~body:lits with
+  | Ok r -> r
+  | Error e -> fail (-1) e
+
+let parse_rule src =
+  run
+    (fun st ->
+      let name = parse_ident st in
+      let r = parse_rule_tail st name in
+      (match peek st with SEMI, _ -> advance st | _ -> ());
+      match peek st with
+      | EOF, _ -> r
+      | _, pos -> fail pos "trailing input after rule")
+    src
+
+let parse_rule_exn src =
+  match parse_rule src with Ok r -> r | Error e -> invalid_arg e
+
+type statement =
+  | Srule of Rule.t
+  | Sexport of Query.t
+  | Scite of Query.t
+
+let parse_statements src =
+  run
+    (fun st ->
+      let rec go acc =
+        match peek st with
+        | EOF, _ -> List.rev acc
+        | _ ->
+            let stmt =
+              match (peek st, peek2 st) with
+              | (IDENT "export", _), ((IDENT _, _) | (LAMBDA, _)) ->
+                  advance st;
+                  Sexport (parse_one st)
+              | (IDENT "cite", _), ((IDENT _, _) | (LAMBDA, _)) ->
+                  advance st;
+                  Scite (parse_one st)
+              | (IDENT name, _), _ ->
+                  advance st;
+                  Srule (parse_rule_tail st name)
+              | (_, pos), _ -> fail pos "expected a rule, 'export' or 'cite'"
+            in
+            (match peek st with
+            | SEMI, _ -> advance st
+            | EOF, _ -> ()
+            | _, pos -> fail pos "expected ';' between statements");
+            go (stmt :: acc)
+      in
+      go [])
+    src
 
 let parse_program src =
   run

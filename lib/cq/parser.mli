@@ -27,3 +27,30 @@ val parse_query_exn : string -> Query.t
 val parse_program : string -> (Query.t list, string) result
 (** Parses a sequence of queries separated by [";"].  A trailing [";"]
     is allowed. *)
+
+val parse_rule : string -> (Rule.t, string) result
+(** Parses a Datalog rule.  Rule syntax extends the query body grammar
+    with negated literals:
+    {v
+      rule  ::= ident "(" term ("," term)* ")" ":-" rlit ("," rlit)*
+      rlit  ::= [ "not" ] ident "(" term ("," term)* ")"
+              | ident "=" const
+    v}
+    [not] is a keyword only when followed by an identifier, so a
+    predicate named [not] remains expressible.  Equalities are
+    eliminated by substitution exactly as in queries; safety is checked
+    by {!Rule.make}. *)
+
+val parse_rule_exn : string -> Rule.t
+
+type statement =
+  | Srule of Rule.t
+  | Sexport of Query.t  (** [export <query>]: a view definition *)
+  | Scite of Query.t
+      (** [cite <query>]: a citation query attached to the preceding
+          [export] *)
+
+val parse_statements : string -> (statement list, string) result
+(** Parses a Datalog program text: a [";"]-separated sequence of rules,
+    [export <query>] view definitions and [cite <query>] citation
+    queries ({!Program.parse} assembles these into a program). *)

@@ -1,0 +1,328 @@
+module R = Dc_relational
+module Sset = Set.Make (String)
+
+type event = Fixpoint | Iteration
+
+let on_event : (event -> unit) ref = ref (fun _ -> ())
+let run_timer : ((unit -> unit) -> unit) ref = ref (fun f -> f ())
+let delta_suffix = "__delta"
+let delta_name p = p ^ delta_suffix
+
+(* IDB schemas are all-TAny, columns named after the first defining
+   rule's head terms (mirroring {!Eval.result_schema}): a variable names
+   its column, a constant position gets [c<i>], repeats are position-
+   disambiguated. *)
+let idb_schema name (rules : Rule.t list) =
+  let head =
+    match rules with
+    | r :: _ -> Atom.args (Rule.head r)
+    | [] -> invalid_arg "idb_schema: no rules"
+  in
+  let seen = Hashtbl.create 8 in
+  let cols =
+    List.mapi
+      (fun i t ->
+        let base =
+          match t with
+          | Term.Var v -> v
+          | Term.Const _ -> Printf.sprintf "c%d" i
+        in
+        if Hashtbl.mem seen base then
+          R.Schema.attr (Printf.sprintf "%s_%d" base i)
+        else begin
+          Hashtbl.add seen base ();
+          R.Schema.attr base
+        end)
+      head
+  in
+  R.Schema.make name cols
+
+let rules_for p rules = List.filter (fun r -> Rule.head_pred r = p) rules
+
+let stratum_preds rules =
+  List.fold_left
+    (fun acc r ->
+      let p = Rule.head_pred r in
+      if List.mem p acc then acc else acc @ [ p ])
+    [] rules
+
+(* Evaluate one rule body (a literal list, possibly with delta-renamed
+   atoms) against [db], returning derived head tuples.  The positive
+   body compiles through Plan/Eval; negated literals — ground under any
+   positive-body binding by rule safety — filter afterwards. *)
+let eval_body cache db ~head lits =
+  let pos =
+    List.filter_map (function Rule.Pos a -> Some a | Rule.Neg _ -> None) lits
+  in
+  let neg =
+    List.filter_map (function Rule.Neg a -> Some a | Rule.Pos _ -> None) lits
+  in
+  let pos = if pos = [] then [ Atom.make "True" [] ] else pos in
+  let q =
+    Query.make_exn ~name:(Atom.pred head) ~head:(Atom.args head) ~body:pos ()
+  in
+  if neg = [] then R.Relation.tuples (Eval.result ~cache db q)
+  else
+    let negated_holds b a =
+      match R.Database.relation db (Atom.pred a) with
+      | None -> false
+      | Some rel ->
+          let tup =
+            R.Tuple.make
+              (List.map
+                 (function
+                   | Term.Const c -> c
+                   | Term.Var v -> Eval.Binding.find_exn b v)
+                 (Atom.args a))
+          in
+          R.Relation.mem rel tup
+    in
+    Eval.bindings ~cache db q
+    |> List.filter_map (fun b ->
+           if List.exists (negated_holds b) neg then None
+           else Some (Eval.tuple_of_binding q b))
+
+(* Add an empty extent for every body predicate the database lacks, so
+   plans always find their relations; the result database never sees
+   these placeholders. *)
+let with_placeholders wdb rules =
+  List.fold_left
+    (fun wdb r ->
+      List.fold_left
+        (fun wdb lit ->
+          let a = match lit with Rule.Pos a | Rule.Neg a -> a in
+          let p = Atom.pred a in
+          if p = "True" || R.Database.mem_relation wdb p then wdb
+          else
+            let cols =
+              List.init (Atom.arity a) (fun i ->
+                  R.Schema.attr (Printf.sprintf "a%d" i))
+            in
+            R.Database.add_relation wdb
+              (R.Relation.empty (R.Schema.make p cols)))
+        wdb (Rule.body r))
+    wdb rules
+
+(* Delta variants of a rule: one body per occurrence of a same-stratum
+   predicate in the positive body, that occurrence redirected to the
+   delta relation.  A rule with no same-stratum occurrence has no
+   variants — it only contributes in the initial round. *)
+let variant_bodies preds r =
+  let rec go prefix acc = function
+    | [] -> List.rev acc
+    | (Rule.Pos a as lit) :: rest when Sset.mem (Atom.pred a) preds ->
+        let renamed =
+          Rule.Pos (Atom.make (delta_name (Atom.pred a)) (Atom.args a))
+        in
+        let body = List.rev_append prefix (renamed :: rest) in
+        go (lit :: prefix) (body :: acc) rest
+    | lit :: rest -> go (lit :: prefix) acc rest
+  in
+  go [] [] (Rule.body r)
+
+let fresh_tuples full derived =
+  List.filter (fun t -> not (R.Relation.mem full t)) derived
+
+(* One recursive stratum: semi-naive iteration to fixpoint. *)
+let eval_recursive cache wdb rules =
+  !on_event Fixpoint;
+  let preds = stratum_preds rules in
+  let pred_set = Sset.of_list preds in
+  let full = Hashtbl.create 4 in
+  List.iter
+    (fun p ->
+      Hashtbl.replace full p (R.Relation.empty (idb_schema p (rules_for p rules))))
+    preds;
+  let install wdb =
+    (* full extents under real names, last deltas under delta names *)
+    List.fold_left
+      (fun wdb p -> R.Database.add_relation wdb (Hashtbl.find full p))
+      wdb preds
+  in
+  let install_deltas wdb deltas =
+    List.fold_left
+      (fun wdb p ->
+        let tuples = try Hashtbl.find deltas p with Not_found -> [] in
+        let rel =
+          R.Relation.of_list
+            (idb_schema (delta_name p) (rules_for p rules))
+            tuples
+        in
+        R.Database.add_relation wdb rel)
+      wdb preds
+  in
+  (* Initial round: original rules against empty same-stratum extents —
+     only bodies not touching the stratum derive anything. *)
+  let wdb0 = install wdb in
+  let first = Hashtbl.create 4 in
+  List.iter
+    (fun r ->
+      let derived =
+        eval_body cache wdb0 ~head:(Rule.head r) (Rule.body r)
+      in
+      let p = Rule.head_pred r in
+      let fresh = fresh_tuples (Hashtbl.find full p) derived in
+      Hashtbl.replace first p
+        (List.rev_append fresh (try Hashtbl.find first p with Not_found -> [])))
+    rules;
+  let merge deltas =
+    let any = ref false in
+    List.iter
+      (fun p ->
+        match Hashtbl.find_opt deltas p with
+        | None | Some [] -> Hashtbl.replace deltas p []
+        | Some tuples ->
+            let dedup =
+              List.sort_uniq R.Tuple.compare tuples
+              |> fresh_tuples (Hashtbl.find full p)
+            in
+            if dedup <> [] then begin
+              any := true;
+              Hashtbl.replace full p
+                (R.Relation.insert_list (Hashtbl.find full p) dedup);
+              Hashtbl.replace deltas p dedup
+            end
+            else Hashtbl.replace deltas p [])
+      preds;
+    !any
+  in
+  let variants =
+    List.concat_map
+      (fun r ->
+        List.map (fun body -> (Rule.head r, body)) (variant_bodies pred_set r))
+      rules
+  in
+  let rec iterate wdb deltas =
+    if not (merge deltas) then install wdb
+    else begin
+      !on_event Iteration;
+      let wdb = install_deltas (install wdb) deltas in
+      let next = Hashtbl.create 4 in
+      List.iter
+        (fun (head, body) ->
+          let derived = eval_body cache wdb ~head body in
+          let p = Atom.pred head in
+          let fresh = fresh_tuples (Hashtbl.find full p) derived in
+          Hashtbl.replace next p
+            (List.rev_append fresh
+               (try Hashtbl.find next p with Not_found -> [])))
+        variants;
+      iterate wdb next
+    end
+  in
+  let wdb = iterate wdb0 first in
+  (wdb, List.map (fun p -> (p, Hashtbl.find full p)) preds)
+
+(* One non-recursive stratum (a single predicate that never reads
+   itself): each rule evaluates exactly once. *)
+let eval_nonrecursive cache wdb rules =
+  let preds = stratum_preds rules in
+  let results =
+    List.map
+      (fun p ->
+        let rel =
+          List.fold_left
+            (fun rel r ->
+              R.Relation.insert_list rel
+                (eval_body cache wdb ~head:(Rule.head r) (Rule.body r)))
+            (R.Relation.empty (idb_schema p (rules_for p rules)))
+            (rules_for p rules)
+        in
+        (p, rel))
+      preds
+  in
+  let wdb =
+    List.fold_left (fun wdb (_, rel) -> R.Database.add_relation wdb rel) wdb
+      results
+  in
+  (wdb, results)
+
+let check_names db (s : Stratify.t) =
+  List.iter
+    (fun p ->
+      if R.Database.mem_relation db p then
+        invalid_arg
+          (Printf.sprintf
+             "Seminaive.run: IDB predicate %s collides with an existing \
+              relation"
+             p))
+    s.idb;
+  List.iter
+    (fun p ->
+      if R.Database.mem_relation db (delta_name p) then
+        invalid_arg
+          (Printf.sprintf
+             "Seminaive.run: relation %s shadows the delta extent of \
+              recursive predicate %s"
+             (delta_name p) p))
+    s.recursive
+
+let resolve_cache = function Some c -> c | None -> Eval.make_cache ()
+
+let run_strata ~stratum db (s : Stratify.t) =
+  check_names db s;
+  let all_rules = List.concat s.strata in
+  let result = ref db in
+  let wdb = ref (with_placeholders db all_rules) in
+  List.iter
+    (fun rules ->
+      let recursive =
+        List.exists (fun r -> Stratify.is_recursive s (Rule.head_pred r)) rules
+      in
+      let wdb', results = stratum ~recursive !wdb rules in
+      wdb := wdb';
+      result :=
+        List.fold_left
+          (fun db (_, rel) -> R.Database.add_relation db rel)
+          !result results)
+    s.strata;
+  !result
+
+let run ?cache db s =
+  let cache = resolve_cache cache in
+  let out = ref db in
+  !run_timer (fun () ->
+      out :=
+        run_strata db s ~stratum:(fun ~recursive wdb rules ->
+            if recursive then eval_recursive cache wdb rules
+            else eval_nonrecursive cache wdb rules));
+  !out
+
+module Naive = struct
+  (* Reference: every round evaluates every rule of the stratum against
+     the full extents; stop when cardinalities stop growing. *)
+  let eval_fix cache wdb rules =
+    let preds = stratum_preds rules in
+    let empty p = R.Relation.empty (idb_schema p (rules_for p rules)) in
+    let full = Hashtbl.create 4 in
+    List.iter (fun p -> Hashtbl.replace full p (empty p)) preds;
+    let install wdb =
+      List.fold_left
+        (fun wdb p -> R.Database.add_relation wdb (Hashtbl.find full p))
+        wdb preds
+    in
+    let rec loop wdb =
+      let wdb = install wdb in
+      let before =
+        List.map (fun p -> R.Relation.cardinality (Hashtbl.find full p)) preds
+      in
+      List.iter
+        (fun r ->
+          let derived = eval_body cache wdb ~head:(Rule.head r) (Rule.body r) in
+          let p = Rule.head_pred r in
+          Hashtbl.replace full p
+            (R.Relation.insert_list (Hashtbl.find full p) derived))
+        rules;
+      let after =
+        List.map (fun p -> R.Relation.cardinality (Hashtbl.find full p)) preds
+      in
+      if after = before then wdb else loop wdb
+    in
+    let wdb = loop wdb in
+    (wdb, List.map (fun p -> (p, Hashtbl.find full p)) preds)
+
+  let run ?cache db s =
+    let cache = resolve_cache cache in
+    run_strata db s ~stratum:(fun ~recursive:_ wdb rules ->
+        eval_fix cache wdb rules)
+end

@@ -1,0 +1,176 @@
+module Smap = Map.Make (String)
+module Sset = Set.Make (String)
+
+type t = {
+  strata : Rule.t list list;
+  idb : string list;
+  recursive : string list;
+}
+
+(* Predicates must be used with one arity throughout: relations are
+   fixed-width, so a mismatch is always a bug in the program. *)
+let check_arities rules =
+  let record acc atom =
+    match acc with
+    | Error _ -> acc
+    | Ok seen -> (
+        let p = Atom.pred atom and n = Atom.arity atom in
+        if p = "True" && n = 0 then Ok seen
+        else
+          match Smap.find_opt p seen with
+          | None -> Ok (Smap.add p n seen)
+          | Some m when m = n -> Ok seen
+          | Some m ->
+              Error
+                (Printf.sprintf
+                   "predicate %s used with arities %d and %d" p m n))
+  in
+  List.fold_left
+    (fun acc r ->
+      let acc = record acc (Rule.head r) in
+      List.fold_left
+        (fun acc lit ->
+          record acc (match lit with Rule.Pos a | Rule.Neg a -> a))
+        acc (Rule.body r))
+    (Ok Smap.empty) rules
+  |> Result.map (fun _ -> ())
+
+(* Tarjan's algorithm; [succs] lists each node's IDB successors.  SCCs
+   are emitted in completion order, which for edges [H -> B] ("H reads
+   B") puts dependencies before dependents — exactly evaluation order. *)
+let tarjan nodes succs =
+  let index = Hashtbl.create 16 in
+  let lowlink = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let sccs = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v true;
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.find_opt on_stack w = Some true then
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (succs v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+            stack := rest;
+            Hashtbl.replace on_stack w false;
+            if w = v then w :: acc else pop (w :: acc)
+      in
+      sccs := pop [] :: !sccs
+    end
+  in
+  List.iter (fun v -> if not (Hashtbl.mem index v) then strongconnect v) nodes;
+  List.rev !sccs
+
+let run rules =
+  match check_arities rules with
+  | Error e -> Error e
+  | Ok () ->
+      let idb_set =
+        List.fold_left (fun s r -> Sset.add (Rule.head_pred r) s) Sset.empty
+          rules
+      in
+      (* Node order = first-definition order, so Tarjan's output is
+         deterministic across runs. *)
+      let nodes =
+        List.fold_left
+          (fun acc r ->
+            let p = Rule.head_pred r in
+            if List.mem p acc then acc else p :: acc)
+          [] rules
+        |> List.rev
+      in
+      let edges p =
+        (* (successor, negated) pairs over all rules for [p] *)
+        List.concat_map
+          (fun r ->
+            if Rule.head_pred r <> p then []
+            else
+              List.filter_map
+                (fun (q, neg) ->
+                  if Sset.mem q idb_set then Some (q, neg) else None)
+                (Rule.body_preds r))
+          rules
+      in
+      let sccs = tarjan nodes (fun p -> List.map fst (edges p)) in
+      let scc_index = Hashtbl.create 16 in
+      List.iteri
+        (fun i scc -> List.iter (fun p -> Hashtbl.replace scc_index p i) scc)
+        sccs;
+      (* Negation through recursion: a negative edge inside one SCC. *)
+      let bad =
+        List.find_map
+          (fun p ->
+            List.find_map
+              (fun (q, neg) ->
+                if neg && Hashtbl.find scc_index p = Hashtbl.find scc_index q
+                then Some (p, q)
+                else None)
+              (edges p))
+          nodes
+      in
+      (match bad with
+      | Some (p, q) ->
+          Error
+            (Printf.sprintf
+               "program is not stratifiable: %s negates %s through \
+                recursion"
+               p q)
+      | None ->
+          let strata =
+            List.map
+              (fun scc ->
+                List.filter (fun r -> List.mem (Rule.head_pred r) scc) rules)
+              sccs
+          in
+          let recursive =
+            List.concat_map
+              (fun scc ->
+                match scc with
+                | [ p ] ->
+                    if List.exists (fun (q, _) -> q = p) (edges p) then [ p ]
+                    else []
+                | _ -> scc)
+              sccs
+          in
+          Ok { strata; idb = List.concat sccs; recursive })
+
+let run_exn rules =
+  match run rules with Ok t -> t | Error e -> invalid_arg e
+
+let stratum_of t p =
+  let rec go i = function
+    | [] -> None
+    | stratum :: rest ->
+        if List.exists (fun r -> Rule.head_pred r = p) stratum then Some i
+        else go (i + 1) rest
+  in
+  go 0 t.strata
+
+let is_recursive t p = List.mem p t.recursive
+
+let edb_preds t rules =
+  let idb = Sset.of_list t.idb in
+  List.fold_left
+    (fun acc r ->
+      List.fold_left
+        (fun acc (p, _) ->
+          if Sset.mem p idb || List.mem p acc then acc else p :: acc)
+        acc (Rule.body_preds r))
+    [] rules
+  |> List.rev

@@ -1,0 +1,39 @@
+(** Stratification of Datalog rule sets.
+
+    The dependency graph has one node per IDB predicate (a predicate
+    that heads at least one rule) and an edge [H -> B] whenever a rule
+    for [H] mentions IDB predicate [B] in its body; the edge is marked
+    negative when the occurrence is negated.  Strongly connected
+    components of this graph, taken in dependency order, are the
+    evaluation strata: every predicate a stratum reads positively is
+    computed no later than the stratum itself, and every predicate it
+    reads under negation is fully computed strictly earlier.
+
+    A negative edge inside a single component means the program negates
+    a predicate through its own recursion — no stratified model exists
+    and {!run} rejects the program. *)
+
+type t = private {
+  strata : Rule.t list list;
+      (** One entry per stratum, in evaluation order; each stratum holds
+          every rule whose head predicate belongs to it. *)
+  idb : string list;  (** IDB predicates, in stratum order. *)
+  recursive : string list;
+      (** IDB predicates in a recursive component (size > 1, or a
+          self-edge), in stratum order. *)
+}
+
+val run : Rule.t list -> (t, string) result
+(** Stratifies the rule set.  Errors on: negation through recursion, a
+    predicate used with inconsistent arities, or an IDB predicate also
+    negated inside its own component. *)
+
+val run_exn : Rule.t list -> t
+
+val stratum_of : t -> string -> int option
+(** Index into [strata] of the stratum computing the predicate; [None]
+    for EDB predicates. *)
+
+val is_recursive : t -> string -> bool
+val edb_preds : t -> Rule.t list -> string list
+(** Body predicates that are not IDB, in first-use order. *)

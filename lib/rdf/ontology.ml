@@ -1,3 +1,5 @@
+module R = Dc_relational
+module Cq = Dc_cq
 module Smap = Map.Make (String)
 module Sset = Set.Make (String)
 
@@ -27,22 +29,113 @@ let add_subproperty o ~sub ~super = { o with subprop = add_edge o.subprop sub su
 let add_domain o ~prop ~cls = { o with domain = add_edge o.domain prop cls }
 let add_range o ~prop ~cls = { o with range = add_edge o.range prop cls }
 
-let closure edges start =
-  let rec go seen frontier =
-    match frontier with
-    | [] -> seen
-    | x :: rest ->
-        let nexts =
-          match Smap.find_opt x edges with
-          | None -> Sset.empty
-          | Some s -> Sset.diff s seen
-        in
-        go (Sset.union seen nexts) (Sset.elements nexts @ rest)
-  in
-  Sset.elements (go (Sset.singleton start) [ start ])
+(* ------------------------------------------------------------------ *)
+(* The RDFS reasoner is a stratified Datalog program over a relational
+   encoding of the axioms and the graph.  EDB relations:
 
-let superclasses o c = closure o.subclass c
-let superproperties o p = closure o.subprop p
+   - [Rdfs_subclass]/[Rdfs_subprop]/[Rdfs_domain]/[Rdfs_range]: the
+     axiom edges as (sub,super) / (prop,cls) pairs;
+   - [Spo](subj,pred): every triple's subject-predicate pair;
+   - [Opo](obj,pred): the pairs whose object is an IRI;
+   - [TypeOf](subj,cls): asserted [rdf:type] triples with IRI object;
+   - [IsTypeProp](pred): the [rdf:type] singleton, negated to keep
+     domain reasoning off type assertions.
+
+   [SubjectClass] then holds exactly the old hand-written reasoner's
+   answer: asserted types, plus domains of used properties and ranges
+   of membered properties (each closed under subproperty, reflexively),
+   all closed reflexively-transitively under subclass. *)
+
+let program =
+  lazy
+    (Cq.Program.parse_exn
+       {|
+  SubClassT(X,Y) :- Rdfs_subclass(X,Y);
+  SubClassT(X,Z) :- Rdfs_subclass(X,Y), SubClassT(Y,Z);
+  SubPropT(X,Y) :- Rdfs_subprop(X,Y);
+  SubPropT(X,Z) :- Rdfs_subprop(X,Y), SubPropT(Y,Z);
+  PropUsed(P) :- Spo(S,P);
+  PropUsed(P) :- Opo(O,P);
+  SubPropR(P,P) :- PropUsed(P);
+  SubPropR(P,Q) :- PropUsed(P), SubPropT(P,Q);
+  DirectClass(S,C) :- TypeOf(S,C);
+  DirectClass(S,C) :- Spo(S,P), not IsTypeProp(P), SubPropR(P,Q), Rdfs_domain(Q,C);
+  DirectClass(O,C) :- Opo(O,P), SubPropR(P,Q), Rdfs_range(Q,C);
+  SubjectClass(S,C) :- DirectClass(S,C);
+  SubjectClass(S,D) :- DirectClass(S,C), SubClassT(C,D)
+|})
+
+let pair_schema name a b =
+  R.Schema.make name
+    [ R.Schema.attr ~ty:R.Value.TStr a; R.Schema.attr ~ty:R.Value.TStr b ]
+
+let pair_relation name a b pairs =
+  List.fold_left
+    (fun rel (x, y) ->
+      R.Relation.insert rel (R.Tuple.make [ R.Value.Str x; R.Value.Str y ]))
+    (R.Relation.empty (pair_schema name a b))
+    pairs
+
+let map_pairs m = Smap.fold (fun a s acc -> Sset.fold (fun b acc -> (a, b) :: acc) s acc) m []
+
+let encode_edb o g =
+  let spo, opo, types =
+    Graph.fold
+      (fun (tr : Triple.t) (spo, opo, types) ->
+        let spo = (tr.subj, tr.pred) :: spo in
+        match tr.obj with
+        | Triple.Iri obj ->
+            let types =
+              if String.equal tr.pred Triple.rdf_type then
+                (tr.subj, obj) :: types
+              else types
+            in
+            (spo, (obj, tr.pred) :: opo, types)
+        | _ -> (spo, opo, types))
+      g ([], [], [])
+  in
+  List.fold_left
+    (fun db rel -> R.Database.add_relation db rel)
+    R.Database.empty
+    [
+      pair_relation "Rdfs_subclass" "Sub" "Super" (map_pairs o.subclass);
+      pair_relation "Rdfs_subprop" "Sub" "Super" (map_pairs o.subprop);
+      pair_relation "Rdfs_domain" "Prop" "Cls" (map_pairs o.domain);
+      pair_relation "Rdfs_range" "Prop" "Cls" (map_pairs o.range);
+      pair_relation "Spo" "S" "P" spo;
+      pair_relation "Opo" "O" "P" opo;
+      pair_relation "TypeOf" "S" "C" types;
+      R.Relation.insert
+        (R.Relation.empty
+           (R.Schema.make "IsTypeProp" [ R.Schema.attr ~ty:R.Value.TStr "P" ]))
+        (R.Tuple.make [ R.Value.Str Triple.rdf_type ]);
+    ]
+
+let derive o g =
+  Cq.Seminaive.run (encode_edb o g) (Lazy.force program).Cq.Program.strat
+
+let pairs db name =
+  match R.Database.relation db name with
+  | None -> []
+  | Some rel ->
+      List.filter_map
+        (fun t ->
+          match R.Tuple.to_list t with
+          | [ R.Value.Str a; R.Value.Str b ] -> Some (a, b)
+          | _ -> None)
+        (R.Relation.tuples rel)
+
+(* Reflexive-transitive closure of [start] in the derived strict
+   closure [rel_name]. *)
+let reflexive_closure db rel_name start =
+  start
+  :: List.filter_map
+       (fun (a, b) -> if String.equal a start then Some b else None)
+       (pairs db rel_name)
+  |> List.sort_uniq String.compare
+
+let superclasses o c = reflexive_closure (derive o Graph.empty) "SubClassT" c
+let superproperties o p = reflexive_closure (derive o Graph.empty) "SubPropT" p
 
 let classes o =
   let acc =
@@ -54,6 +147,8 @@ let classes o =
   let acc = Smap.fold (fun _ cs acc -> Sset.union cs acc) o.range acc in
   Sset.elements acc
 
+(* Longest subclass chain — an aggregate over the hierarchy, not a
+   fixpoint, so it stays a small recursion over the edge map. *)
 let depth o =
   let rec chain c =
     match Smap.find_opt c o.subclass with
@@ -63,47 +158,19 @@ let depth o =
   in
   List.fold_left (fun acc c -> max acc (chain c)) 0 (classes o)
 
-let direct_classes o g subj =
-  let asserted = Graph.types_of g subj in
-  let via_domain =
-    List.concat_map
-      (fun (t : Triple.t) ->
-        if String.equal t.pred Triple.rdf_type then []
-        else
-          List.concat_map
-            (fun p ->
-              match Smap.find_opt p o.domain with
-              | None -> []
-              | Some cs -> Sset.elements cs)
-            (superproperties o t.pred))
-      (Graph.with_subj g subj)
-  in
-  let via_range =
-    List.concat_map
-      (fun (t : Triple.t) ->
-        match t.obj with
-        | Triple.Iri s when String.equal s subj ->
-            List.concat_map
-              (fun p ->
-                match Smap.find_opt p o.range with
-                | None -> []
-                | Some cs -> Sset.elements cs)
-              (superproperties o t.pred)
-        | _ -> [])
-      (Graph.triples g)
-  in
-  List.sort_uniq String.compare (asserted @ via_domain @ via_range)
-
-let subject_classes o g subj =
-  List.concat_map (superclasses o) (direct_classes o g subj)
+let subject_classes_db db subj =
+  List.filter_map
+    (fun (s, c) -> if String.equal s subj then Some c else None)
+    (pairs db "SubjectClass")
   |> List.sort_uniq String.compare
 
+let subject_classes o g subj = subject_classes_db (derive o g) subj
+
 let infer_types o g =
+  let db = derive o g in
   let subjects =
     Graph.fold
       (fun (t : Triple.t) acc -> Sset.add t.subj acc)
       g Sset.empty
   in
-  List.map
-    (fun s -> (s, subject_classes o g s))
-    (Sset.elements subjects)
+  List.map (fun s -> (s, subject_classes_db db s)) (Sset.elements subjects)

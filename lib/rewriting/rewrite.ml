@@ -202,18 +202,12 @@ let search_impl ?(strategy = Minicon) ?(partial = false)
       truncated = !truncated;
     } )
 
-let rewritings ?strategy ?partial ?max_candidates ?pool views query =
-  search_impl ?strategy ?partial ?max_candidates ?pool views query
-
 let search ?strategy ?partial ?max_candidates ?pool ?min_parallel views query =
   let queries, stats =
     search_impl ?strategy ?partial ?max_candidates ?pool ?min_parallel views
       query
   in
   { queries; stats }
-
-let equivalent_rewritings ?partial views query =
-  fst (rewritings ?partial views query)
 
 let rewritings_under_deps ?(max_extra_atoms = 1) ?(max_candidates = 100_000)
     ~deps views query =

@@ -30,8 +30,7 @@ val stats_to_json : stats -> string
 
 type outcome = { queries : Dc_cq.Query.t list; stats : stats }
 (** A labeled search result: the kept rewritings plus the enumeration
-    statistics.  Prefer this over destructuring the positional pair
-    {!rewritings} returns. *)
+    statistics. *)
 
 type event = Candidate | Verified | Kept
 
@@ -49,26 +48,9 @@ val search :
   View.Set.t ->
   Dc_cq.Query.t ->
   outcome
-(** Exactly {!rewritings}, returned as a labeled {!outcome} record
-    instead of a positional pair.  New call sites should use this.
-
-    [min_parallel] (default [16]) gates the fan-out: with fewer
-    collected candidates than that, verification runs in the caller
-    even when a multi-domain [pool] is given — a tiny search cannot
-    amortize the task hand-off, and after the engine's plan cache warms
-    tiny searches are the common case. *)
-
-val rewritings :
-  ?strategy:strategy ->
-  ?partial:bool ->
-  ?max_candidates:int ->
-  ?pool:Dc_parallel.Domain_pool.t ->
-  View.Set.t ->
-  Dc_cq.Query.t ->
-  Dc_cq.Query.t list * stats
 (** Minimal equivalent rewritings, deduplicated up to view-level
-    equivalence, named ["<q>_rw<i>"].  [max_candidates] (default
-    [100_000]) bounds the search.
+    equivalence, named ["<q>_rw<i>"], plus the enumeration stats.
+    [max_candidates] (default [100_000]) bounds the search.
 
     With [~pool], candidate {e verification} — expansion equivalence
     plus minimization, the dominant cost — fans out across the pool's
@@ -76,16 +58,11 @@ val rewritings :
     order, so the returned rewritings (queries, names, order) and
     [stats] are identical to the single-domain run.
 
-    @deprecated The positional pair leaks into callers; use {!search},
-    which returns the labeled {!outcome} record.  This function is kept
-    for existing call sites and will not grow new parameters. *)
-
-val equivalent_rewritings :
-  ?partial:bool -> View.Set.t -> Dc_cq.Query.t -> Dc_cq.Query.t list
-(** [rewritings ~strategy:Minicon], results only.
-
-    @deprecated Use [(search views q).queries] — same results, and the
-    stats come labeled when you need them. *)
+    [min_parallel] (default [16]) gates the fan-out: with fewer
+    collected candidates than that, verification runs in the caller
+    even when a multi-domain [pool] is given — a tiny search cannot
+    amortize the task hand-off, and after the engine's plan cache warms
+    tiny searches are the common case. *)
 
 val minimize_rewriting :
   ?deps:Dc_cq.Dependency.t list ->

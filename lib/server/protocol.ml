@@ -286,8 +286,8 @@ let ok_citation ~view ~citation ~ms =
 
 let ok_stats ~stats_json = obj [ ("ok", "true"); ("stats", stats_json) ]
 
-let ok_health ?version ?data_dir ?wal_enabled ?last_snapshot_version ~uptime_s
-    ~views ~relations ~tuples () =
+let ok_health ?version ?data_dir ?wal_enabled ?last_snapshot_version
+    ?capabilities ~uptime_s ~views ~relations ~tuples () =
   obj
     ([
        ("ok", "true");
@@ -313,10 +313,20 @@ let ok_health ?version ?data_dir ?wal_enabled ?last_snapshot_version ~uptime_s
     @ (match wal_enabled with
       | None -> []
       | Some b -> [ ("wal_enabled", string_of_bool b) ])
+    @ (match last_snapshot_version with
+      | None -> []
+      | Some v -> [ ("last_snapshot_version", string_of_int v) ])
     @
-    match last_snapshot_version with
+    (* Capability report (v2 HEALTH only, like the durability fields). *)
+    match (capabilities : C.Citer.capabilities option) with
     | None -> []
-    | Some v -> [ ("last_snapshot_version", string_of_int v) ])
+    | Some c ->
+        [
+          ("backend", jstr c.backend);
+          ("shards", string_of_int c.shards);
+          ("supports_versions", string_of_bool c.supports_versions);
+          ("supports_recursion", string_of_bool c.supports_recursion);
+        ])
 
 let ok_bye = obj [ ("ok", "true"); ("bye", "true") ]
 

@@ -152,6 +152,7 @@ val ok_health :
   ?data_dir:string ->
   ?wal_enabled:bool ->
   ?last_snapshot_version:int ->
+  ?capabilities:Dc_citation.Citer.capabilities ->
   uptime_s:float ->
   views:int ->
   relations:int ->
@@ -160,8 +161,10 @@ val ok_health :
   string
 (** [version], when given, reports the versioned engine's head as
     [head_version].  The durability fields ([data_dir], [wal_enabled],
-    [last_snapshot_version]) are appended only when given — a v2 HEALTH
-    report; omitting them keeps the v1 output byte-identical. *)
+    [last_snapshot_version]) and the capability report ([backend],
+    [shards], [supports_versions], [supports_recursion]) are appended
+    only when given — a v2 HEALTH report; omitting them keeps the v1
+    output byte-identical. *)
 
 val ok_bye : string
 

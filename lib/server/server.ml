@@ -126,20 +126,30 @@ let execute t eng (req : Protocol.request) =
       let db = C.Engine.database (engine t) in
       (* v2 HEALTH adds the durability report; bare HEALTH stays
          byte-identical to protocol v1. *)
-      let data_dir, wal_enabled, last_snapshot_version =
+      let data_dir, wal_enabled, last_snapshot_version, capabilities =
         match req with
-        | Protocol.Health -> (None, None, None)
-        | _ -> (
-            match t.storage with
-            | None -> (None, Some false, None)
+        | Protocol.Health -> (None, None, None, None)
+        | _ ->
+            (* The server answers versioned commands regardless of which
+               shard a CITE lands on, so report the versioned backend's
+               capabilities with the actual shard fan-out. *)
+            let caps =
+              {
+                (C.Citer.describe (C.Citer.of_versioned t.versioned)) with
+                shards = C.Sharded_engine.shard_count (Atomic.get t.shards);
+              }
+            in
+            (match t.storage with
+            | None -> (None, Some false, None, Some caps)
             | Some st ->
                 ( Some (Dc_storage.Store.dir st),
                   Some true,
-                  Some (Dc_storage.Store.last_snapshot_version st) ))
+                  Some (Dc_storage.Store.last_snapshot_version st),
+                  Some caps ))
       in
       Protocol.ok_health
         ~version:(C.Versioned_engine.head t.versioned)
-        ?data_dir ?wal_enabled ?last_snapshot_version
+        ?data_dir ?wal_enabled ?last_snapshot_version ?capabilities
         ~uptime_s:(Dc_clock.Monotonic.now_s () -. t.started_at)
         ~views:(C.Citation_view.Set.size (C.Engine.citation_views (engine t)))
         ~relations:(List.length (R.Database.relation_names db))

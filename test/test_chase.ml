@@ -119,7 +119,7 @@ let test_rewriting_under_key () =
       ]
   in
   let query = q "Q(FID,FName,Desc) :- Family(FID,FName,Desc)" in
-  let plain, _ = Rw.Rewrite.rewritings views query in
+  let plain = (Rw.Rewrite.search views query).Rw.Rewrite.queries in
   Alcotest.(check int) "not found without deps" 0 (List.length plain);
   let under, stats =
     Rw.Rewrite.rewritings_under_deps ~deps:fd_family views query
@@ -141,7 +141,9 @@ let test_rewriting_under_deps_matches_plain_when_trivial () =
     Rw.View.Set.of_list
       (List.map Dc_citation.Citation_view.view Dc_gtopdb.Paper_views.all)
   in
-  let plain, _ = Rw.Rewrite.rewritings views Dc_gtopdb.Paper_views.query_q in
+  let plain =
+    (Rw.Rewrite.search views Dc_gtopdb.Paper_views.query_q).Rw.Rewrite.queries
+  in
   let under, _ =
     Rw.Rewrite.rewritings_under_deps ~deps:[] views
       Dc_gtopdb.Paper_views.query_q

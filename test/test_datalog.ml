@@ -1,0 +1,501 @@
+open Testutil
+module Cq = Dc_cq
+module C = Dc_citation
+
+let rule = Cq.Parser.parse_rule_exn
+
+(* substring check, for error-message assertions *)
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* Rules: parsing and safety *)
+
+let test_rule_parse () =
+  let r = rule "T(X,Y) :- E(X,Y)" in
+  Alcotest.(check string) "head pred" "T" (Cq.Rule.head_pred r);
+  Alcotest.(check int) "one literal" 1 (List.length (Cq.Rule.body r));
+  let r = rule "S(X) :- V(X), not B(X)" in
+  Alcotest.(check int) "positive" 1 (List.length (Cq.Rule.positive r));
+  Alcotest.(check int) "negative" 1 (List.length (Cq.Rule.negative r));
+  Alcotest.(check (list (pair string bool)))
+    "body preds carry polarity"
+    [ ("V", false); ("B", true) ]
+    (Cq.Rule.body_preds r)
+
+let test_rule_safety () =
+  (match Cq.Parser.parse_rule "T(X,Z) :- E(X,Y)" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unsafe head variable accepted");
+  match Cq.Parser.parse_rule "S(X) :- V(X), not B(X,Y)" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unsafe negated variable accepted"
+
+let test_rule_equality_elim () =
+  (* the parser eliminates equalities by substitution, like queries *)
+  let r = rule "T(X,Y) :- E(X,Y), Y=3" in
+  Alcotest.(check bool) "constant propagated" true
+    (List.exists
+       (function
+         | Cq.Rule.Pos a ->
+             List.exists
+               (function Cq.Term.Const _ -> true | _ -> false)
+               (Cq.Atom.args a)
+         | Cq.Rule.Neg _ -> false)
+       (Cq.Rule.body r))
+
+(* ------------------------------------------------------------------ *)
+(* Stratification *)
+
+let strat_exn rules = Cq.Stratify.run_exn (List.map rule rules)
+
+let test_stratify_order () =
+  let s =
+    strat_exn
+      [
+        "Above(X,Y) :- T(X,Y), Top(Y)";
+        "T(X,Y) :- E(X,Y)";
+        "T(X,Z) :- E(X,Y), T(Y,Z)";
+      ]
+  in
+  let st p = Option.get (Cq.Stratify.stratum_of s p) in
+  Alcotest.(check bool) "T before Above" true (st "T" < st "Above");
+  Alcotest.(check bool) "T recursive" true (Cq.Stratify.is_recursive s "T");
+  Alcotest.(check bool) "Above not recursive" false
+    (Cq.Stratify.is_recursive s "Above")
+
+let test_stratify_mutual () =
+  let s =
+    strat_exn
+      [
+        "Even(X) :- Zero(X)";
+        "Even(Y) :- Odd(X), Succ(X,Y)";
+        "Odd(Y) :- Even(X), Succ(X,Y)";
+      ]
+  in
+  Alcotest.(check (option int)) "same stratum"
+    (Cq.Stratify.stratum_of s "Even")
+    (Cq.Stratify.stratum_of s "Odd");
+  Alcotest.(check bool) "both recursive" true
+    (Cq.Stratify.is_recursive s "Even" && Cq.Stratify.is_recursive s "Odd")
+
+let test_stratify_rejects_negation_through_recursion () =
+  let rules =
+    List.map rule [ "P(X) :- E(X,Y), not Q(X)"; "Q(X) :- E(X,Y), P(X)" ]
+  in
+  match Cq.Stratify.run rules with
+  | Error e ->
+      Alcotest.(check bool) "mentions stratifiability" true
+        (contains ~affix:"not stratifiable" e)
+  | Ok _ -> Alcotest.fail "negation through recursion accepted"
+
+let test_stratified_negation_ok () =
+  let s =
+    strat_exn
+      [
+        "T(X,Y) :- E(X,Y)";
+        "T(X,Z) :- E(X,Y), T(Y,Z)";
+        "NotSelf(X,Y) :- T(X,Y), not E(X,Y)";
+      ]
+  in
+  let st p = Option.get (Cq.Stratify.stratum_of s p) in
+  Alcotest.(check bool) "negation lands higher" true (st "T" < st "NotSelf")
+
+(* ------------------------------------------------------------------ *)
+(* Semi-naive evaluation *)
+
+let edge_db edges =
+  let schema =
+    R.Schema.make "E"
+      [ R.Schema.attr ~ty:R.Value.TInt "A"; R.Schema.attr ~ty:R.Value.TInt "B" ]
+  in
+  R.Database.insert_list
+    (R.Database.create_relation R.Database.empty schema)
+    "E"
+    (List.map (fun (a, b) -> int_tuple [ a; b ]) edges)
+
+let card db p =
+  match R.Database.relation db p with
+  | None -> 0
+  | Some rel -> R.Relation.cardinality rel
+
+let tc_rules = [ "T(X,Y) :- E(X,Y)"; "T(X,Z) :- E(X,Y), T(Y,Z)" ]
+
+let test_seminaive_chain () =
+  let db = edge_db [ (1, 2); (2, 3); (3, 4); (4, 5) ] in
+  let out = Cq.Seminaive.run db (strat_exn tc_rules) in
+  Alcotest.(check int) "chain closure" 10 (card out "T");
+  Alcotest.(check bool) "input untouched" false (R.Database.mem_relation db "T")
+
+let test_seminaive_cycle () =
+  let db = edge_db [ (1, 2); (2, 3); (3, 1) ] in
+  let out = Cq.Seminaive.run db (strat_exn tc_rules) in
+  Alcotest.(check int) "cycle closure is complete graph" 9 (card out "T")
+
+let test_seminaive_negation () =
+  let db = edge_db [ (1, 2); (2, 3); (3, 4) ] in
+  let out =
+    Cq.Seminaive.run db
+      (strat_exn (tc_rules @ [ "Derived(X,Y) :- T(X,Y), not E(X,Y)" ]))
+  in
+  (* T = 6 pairs, 3 of them are asserted edges *)
+  Alcotest.(check int) "derived-only pairs" 3 (card out "Derived")
+
+let test_seminaive_missing_edb_is_empty () =
+  let out = Cq.Seminaive.run R.Database.empty (strat_exn tc_rules) in
+  Alcotest.(check int) "empty closure" 0 (card out "T");
+  Alcotest.(check bool) "no placeholder leaked" false
+    (R.Database.mem_relation out "E")
+
+(* Differential suite: semi-naive must agree with the naive reference
+   on every IDB predicate, across program shapes (recursion, mutual
+   recursion, repeated variables, stratified negation, empty strata)
+   and random edge relations. *)
+
+let program_templates =
+  [
+    tc_rules;
+    (* mutual recursion *)
+    [
+      "P(X,Y) :- E(X,Y)";
+      "P(X,Z) :- E(X,Y), Q(Y,Z)";
+      "Q(X,Y) :- E(X,Y)";
+      "Q(X,Z) :- E(X,Y), P(Y,Z)";
+    ];
+    (* repeated variables + projection stratum over the closure *)
+    tc_rules @ [ "Self(X) :- T(X,X)"; "Reaches(X) :- T(X,Y)" ];
+    (* stratified negation over a recursive stratum *)
+    tc_rules @ [ "NotEdge(X,Y) :- T(X,Y), not E(X,Y)" ];
+    (* empty stratum: defined over a relation absent from the db *)
+    [ "Ghost(X,Y) :- Missing(X,Y)"; "Both(X,Y) :- E(X,Y), Ghost(X,Y)" ]
+    @ tc_rules;
+  ]
+
+let random_edges seed =
+  let st = Random.State.make [| seed |] in
+  let n = 3 + Random.State.int st 5 in
+  List.init
+    (3 + Random.State.int st 12)
+    (fun _ -> (Random.State.int st n, Random.State.int st n))
+
+let agree strat db =
+  let fast = Cq.Seminaive.run db strat in
+  let slow = Cq.Seminaive.Naive.run db strat in
+  List.for_all
+    (fun p ->
+      match (R.Database.relation fast p, R.Database.relation slow p) with
+      | Some a, Some b -> R.Relation.equal a b
+      | None, None -> true
+      | _ -> false)
+    strat.Cq.Stratify.idb
+
+let prop_seminaive_matches_naive =
+  qtest "semi-naive = naive on random graphs"
+    QCheck.(int_bound 500)
+    (fun seed ->
+      let db = edge_db (random_edges seed) in
+      List.for_all (fun rules -> agree (strat_exn rules) db) program_templates)
+
+(* ------------------------------------------------------------------ *)
+(* RDFS closure: the Datalog reasoner against a direct port of the old
+   hand-written one *)
+
+module Reference = struct
+  module Smap = Map.Make (String)
+  module Sset = Set.Make (String)
+
+  type t = {
+    subclass : Sset.t Smap.t;
+    subprop : Sset.t Smap.t;
+    domain : Sset.t Smap.t;
+    range : Sset.t Smap.t;
+  }
+
+  let of_edges ~subclass ~subprop ~domain ~range =
+    let build =
+      List.fold_left
+        (fun m (a, b) ->
+          Smap.update a
+            (function
+              | None -> Some (Sset.singleton b) | Some s -> Some (Sset.add b s))
+            m)
+        Smap.empty
+    in
+    {
+      subclass = build subclass;
+      subprop = build subprop;
+      domain = build domain;
+      range = build range;
+    }
+
+  let closure edges start =
+    let rec go seen frontier =
+      match frontier with
+      | [] -> seen
+      | x :: rest ->
+          let nexts =
+            match Smap.find_opt x edges with
+            | None -> Sset.empty
+            | Some s -> Sset.diff s seen
+          in
+          go (Sset.union seen nexts) (Sset.elements nexts @ rest)
+    in
+    Sset.elements (go (Sset.singleton start) [ start ])
+
+  let superclasses o c = closure o.subclass c
+  let superproperties o p = closure o.subprop p
+
+  let direct_classes o g subj =
+    let module T = Dc_rdf.Triple in
+    let module G = Dc_rdf.Graph in
+    let asserted = G.types_of g subj in
+    let via_domain =
+      List.concat_map
+        (fun (t : T.t) ->
+          if String.equal t.pred T.rdf_type then []
+          else
+            List.concat_map
+              (fun p ->
+                match Smap.find_opt p o.domain with
+                | None -> []
+                | Some cs -> Sset.elements cs)
+              (superproperties o t.pred))
+        (G.with_subj g subj)
+    in
+    let via_range =
+      List.concat_map
+        (fun (t : T.t) ->
+          match t.obj with
+          | T.Iri s when String.equal s subj ->
+              List.concat_map
+                (fun p ->
+                  match Smap.find_opt p o.range with
+                  | None -> []
+                  | Some cs -> Sset.elements cs)
+                (superproperties o t.pred)
+          | _ -> [])
+        (G.triples g)
+    in
+    List.sort_uniq String.compare (asserted @ via_domain @ via_range)
+
+  let subject_classes o g subj =
+    List.concat_map (superclasses o) (direct_classes o g subj)
+    |> List.sort_uniq String.compare
+
+  let infer_types o g =
+    let subjects =
+      Dc_rdf.Graph.fold
+        (fun (t : Dc_rdf.Triple.t) acc -> Sset.add t.subj acc)
+        g Sset.empty
+    in
+    List.map (fun s -> (s, subject_classes o g s)) (Sset.elements subjects)
+end
+
+let random_rdf seed =
+  let module T = Dc_rdf.Triple in
+  let st = Random.State.make [| seed |] in
+  let cls i = Printf.sprintf "C%d" i and prop i = Printf.sprintf "p%d" i in
+  let n_cls = 4 + Random.State.int st 4 in
+  let pick_cls () = cls (Random.State.int st n_cls) in
+  let pick_prop () = prop (Random.State.int st 4) in
+  let edges k f = List.init k (fun _ -> f ()) in
+  let subclass = edges 5 (fun () -> (pick_cls (), pick_cls ())) in
+  let subprop = edges 2 (fun () -> (pick_prop (), pick_prop ())) in
+  let domain = edges 2 (fun () -> (pick_prop (), pick_cls ())) in
+  let range = edges 2 (fun () -> (pick_prop (), pick_cls ())) in
+  let subj i = Printf.sprintf "s%d" i in
+  let triples =
+    List.init
+      (4 + Random.State.int st 6)
+      (fun i ->
+        match Random.State.int st 3 with
+        | 0 -> T.make (subj i) T.rdf_type (T.iri (pick_cls ()))
+        | 1 -> T.make (subj i) (pick_prop ()) (T.iri (subj (i / 2)))
+        | _ -> T.make (subj i) (pick_prop ()) (T.lit_str "v"))
+  in
+  let ontology =
+    let o =
+      List.fold_left
+        (fun o (sub, super) -> Dc_rdf.Ontology.add_subclass o ~sub ~super)
+        Dc_rdf.Ontology.empty
+        (* drop self-loops so [Reference.closure] mirrors an acyclic
+           hierarchy the way real RDFS schemas are written *)
+        (List.filter (fun (a, b) -> a <> b) subclass)
+    in
+    let o =
+      List.fold_left
+        (fun o (sub, super) -> Dc_rdf.Ontology.add_subproperty o ~sub ~super)
+        o
+        (List.filter (fun (a, b) -> a <> b) subprop)
+    in
+    let o =
+      List.fold_left
+        (fun o (prop, c) -> Dc_rdf.Ontology.add_domain o ~prop ~cls:c)
+        o domain
+    in
+    List.fold_left
+      (fun o (prop, c) -> Dc_rdf.Ontology.add_range o ~prop ~cls:c)
+      o range
+  in
+  let reference =
+    Reference.of_edges
+      ~subclass:(List.filter (fun (a, b) -> a <> b) subclass)
+      ~subprop:(List.filter (fun (a, b) -> a <> b) subprop)
+      ~domain ~range
+  in
+  (ontology, reference, Dc_rdf.Graph.of_list triples)
+
+let prop_rdfs_matches_reference =
+  qtest "Datalog RDFS closure = reference reasoner"
+    QCheck.(int_bound 500)
+    (fun seed ->
+      let o, reference, g = random_rdf seed in
+      Dc_rdf.Ontology.infer_types o g = Reference.infer_types reference g)
+
+let test_rdfs_byte_identical_sample () =
+  let o =
+    Dc_rdf.Ontology.empty
+    |> (fun o -> Dc_rdf.Ontology.add_subclass o ~sub:"CellLine" ~super:"Biomaterial")
+    |> (fun o -> Dc_rdf.Ontology.add_subclass o ~sub:"Biomaterial" ~super:"Resource")
+    |> (fun o -> Dc_rdf.Ontology.add_subproperty o ~sub:"hasInsert" ~super:"hasPart")
+    |> fun o -> Dc_rdf.Ontology.add_domain o ~prop:"hasPart" ~cls:"Plasmid"
+  in
+  let module T = Dc_rdf.Triple in
+  let g =
+    Dc_rdf.Graph.of_list
+      [
+        T.make "hela" T.rdf_type (T.iri "CellLine");
+        T.make "plasmid42" "hasInsert" (T.lit_str "GFP");
+      ]
+  in
+  Alcotest.(check (list (pair string (list string))))
+    "inferred types"
+    [
+      ("hela", [ "Biomaterial"; "CellLine"; "Resource" ]);
+      ("plasmid42", [ "Plasmid" ]);
+    ]
+    (Dc_rdf.Ontology.infer_types o g);
+  (* subproperty closure feeds domain inference *)
+  Alcotest.(check (list string))
+    "superproperties" [ "hasInsert"; "hasPart" ]
+    (Dc_rdf.Ontology.superproperties o "hasInsert")
+
+(* ------------------------------------------------------------------ *)
+(* Program API: exports through the engine *)
+
+let upstream_program =
+  Cq.Program.parse_exn
+    {|
+  Up(S,D) :- Link(S,D);
+  Up(S,D) :- Link(S,M), Up(M,D);
+  export lambda D. VUp(D,S) :- Up(S,D);
+  cite lambda D. CVUp(D,S) :- Up(S,D)
+|}
+
+let link_db edges =
+  let schema =
+    R.Schema.make "Link"
+      [ R.Schema.attr ~ty:R.Value.TInt "S"; R.Schema.attr ~ty:R.Value.TInt "D" ]
+  in
+  R.Database.insert_list
+    (R.Database.create_relation R.Database.empty schema)
+    "Link"
+    (List.map (fun (a, b) -> int_tuple [ a; b ]) edges)
+
+let test_engine_of_program () =
+  let eng =
+    C.Engine.of_program ~selection:`All
+      (link_db [ (3, 2); (2, 1) ])
+      upstream_program
+  in
+  Alcotest.(check (list string)) "derived predicates" [ "Up" ]
+    (C.Engine.derived_predicates eng);
+  Alcotest.(check (list string)) "recursive predicates" [ "Up" ]
+    (C.Engine.recursive_predicates eng);
+  let result = C.Engine.cite eng (parse "Q(S) :- Up(S,1)") in
+  Alcotest.(check int) "both upstream nodes" 2 (List.length result.tuples);
+  Alcotest.(check bool) "cited through the export" true
+    (result.result_citations <> [])
+
+let test_engine_refresh_rederives () =
+  let eng = C.Engine.of_program (link_db [ (2, 1) ]) upstream_program in
+  Alcotest.(check int) "initial closure" 1
+    (card (C.Engine.derived_database eng) "Up");
+  let eng2 = C.Engine.refresh eng (link_db [ (2, 1); (3, 2) ]) in
+  Alcotest.(check int) "closure after refresh" 3
+    (card (C.Engine.derived_database eng2) "Up")
+
+let test_register_guard () =
+  let ve =
+    C.Versioned_engine.create_program (link_db [ (2, 1) ]) upstream_program
+  in
+  (match C.Versioned_engine.register ve (parse "Q(S) :- Up(S,1)") with
+  | Ok () -> Alcotest.fail "registration over a recursive predicate accepted"
+  | Error e ->
+      Alcotest.(check bool) "refused loudly" true
+        (contains ~affix:"REGISTER refused" e);
+      Alcotest.(check bool) "names the predicate" true
+        (contains ~affix:"Up" e));
+  match C.Versioned_engine.register ve (parse "Q(S) :- Link(S,D)") with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("EDB registration refused: " ^ e)
+
+let test_capabilities () =
+  let db = paper_db () in
+  let plain = C.Engine.create db Dc_gtopdb.Paper_views.all in
+  let caps = C.Citer.describe (C.Citer.of_engine plain) in
+  Alcotest.(check string) "engine backend" "engine" caps.C.Citer.backend;
+  Alcotest.(check bool) "no versions" false caps.C.Citer.supports_versions;
+  Alcotest.(check bool) "no recursion" false caps.C.Citer.supports_recursion;
+  Alcotest.(check int) "one shard" 1 caps.C.Citer.shards;
+  let sharded =
+    C.Citer.describe
+      (C.Citer.of_sharded (C.Sharded_engine.of_engine ~shards:2 plain))
+  in
+  Alcotest.(check string) "sharded backend" "sharded" sharded.C.Citer.backend;
+  Alcotest.(check bool) "shard fan-out reported" true
+    (sharded.C.Citer.shards >= 1);
+  let versioned =
+    C.Citer.describe
+      (C.Citer.of_versioned
+         (C.Versioned_engine.create_program (link_db [ (2, 1) ])
+            upstream_program))
+  in
+  Alcotest.(check string) "versioned backend" "versioned"
+    versioned.C.Citer.backend;
+  Alcotest.(check bool) "versions supported" true
+    versioned.C.Citer.supports_versions;
+  Alcotest.(check bool) "recursion reported" true
+    versioned.C.Citer.supports_recursion
+
+let suite =
+  [
+    Alcotest.test_case "rule parse" `Quick test_rule_parse;
+    Alcotest.test_case "rule safety" `Quick test_rule_safety;
+    Alcotest.test_case "rule equality elimination" `Quick
+      test_rule_equality_elim;
+    Alcotest.test_case "stratification order" `Quick test_stratify_order;
+    Alcotest.test_case "mutual recursion" `Quick test_stratify_mutual;
+    Alcotest.test_case "negation through recursion rejected" `Quick
+      test_stratify_rejects_negation_through_recursion;
+    Alcotest.test_case "stratified negation accepted" `Quick
+      test_stratified_negation_ok;
+    Alcotest.test_case "semi-naive chain closure" `Quick test_seminaive_chain;
+    Alcotest.test_case "semi-naive cycle closure" `Quick test_seminaive_cycle;
+    Alcotest.test_case "stratified negation evaluation" `Quick
+      test_seminaive_negation;
+    Alcotest.test_case "missing EDB treated as empty" `Quick
+      test_seminaive_missing_edb_is_empty;
+    prop_seminaive_matches_naive;
+    prop_rdfs_matches_reference;
+    Alcotest.test_case "RDFS closure worked sample" `Quick
+      test_rdfs_byte_identical_sample;
+    Alcotest.test_case "engine from program" `Quick test_engine_of_program;
+    Alcotest.test_case "refresh re-derives" `Quick
+      test_engine_refresh_rederives;
+    Alcotest.test_case "REGISTER guard over recursive predicates" `Quick
+      test_register_guard;
+    Alcotest.test_case "citer capabilities" `Quick test_capabilities;
+  ]

@@ -59,8 +59,8 @@ let test_expansion_constant_conflict () =
 
 let test_paper_rewritings () =
   let vs = paper_views () in
-  let rewritings, stats =
-    Rw.Rewrite.rewritings vs Dc_gtopdb.Paper_views.query_q
+  let { Rw.Rewrite.queries = rewritings; stats } =
+    Rw.Rewrite.search vs Dc_gtopdb.Paper_views.query_q
   in
   Alcotest.(check int) "exactly two rewritings" 2 (List.length rewritings);
   Alcotest.(check bool) "no truncation" false stats.truncated;
@@ -79,8 +79,9 @@ let test_paper_rewritings () =
 let test_strategies_agree_on_paper_example () =
   let vs = paper_views () in
   let result strategy =
-    let rs, _ =
-      Rw.Rewrite.rewritings ~strategy vs Dc_gtopdb.Paper_views.query_q
+    let rs =
+      (Rw.Rewrite.search ~strategy vs Dc_gtopdb.Paper_views.query_q)
+        .Rw.Rewrite.queries
     in
     List.sort_uniq compare (List.map view_names rs)
   in
@@ -99,7 +100,7 @@ let test_candidate_counts_ordered () =
   in
   let query = q "Q(FID,FName) :- Family(FID,FName,Desc)" in
   let count strategy =
-    (snd (Rw.Rewrite.rewritings ~strategy views query)).candidates
+    (Rw.Rewrite.search ~strategy views query).Rw.Rewrite.stats.candidates
   in
   let naive = count Rw.Rewrite.Naive in
   let bucket = count Rw.Rewrite.Bucket in
@@ -110,13 +111,16 @@ let test_candidate_counts_ordered () =
 
 let test_no_rewriting () =
   let vs = paper_views () in
-  let rs, _ = Rw.Rewrite.rewritings vs (q "Q(FID,PName) :- Committee(FID,PName)") in
+  let rs =
+    (Rw.Rewrite.search vs (q "Q(FID,PName) :- Committee(FID,PName)"))
+      .Rw.Rewrite.queries
+  in
   Alcotest.(check int) "uncovered" 0 (List.length rs)
 
 let test_partial_rewriting () =
   let vs = paper_views () in
   let query = q "Q(FName,PName) :- Family(FID,FName,Desc), Committee(FID,PName)" in
-  let rs, _ = Rw.Rewrite.rewritings ~partial:true vs query in
+  let rs = (Rw.Rewrite.search ~partial:true vs query).Rw.Rewrite.queries in
   Alcotest.(check bool) "partial rewriting exists" true (rs <> []);
   Alcotest.(check bool) "some rewriting uses a view and the base atom" true
     (List.exists
@@ -131,7 +135,7 @@ let test_existential_join_via_single_view () =
      existential — only a single-occurrence (MiniCon-style) cover works. *)
   let vs = V.Set.of_list [ V.of_query (q "V(X) :- R(X,Y), S(Y,X)") ] in
   let query = q "Q(A) :- R(A,B), S(B,A)" in
-  let rs, _ = Rw.Rewrite.rewritings vs query in
+  let rs = (Rw.Rewrite.search vs query).Rw.Rewrite.queries in
   Alcotest.(check int) "found via closure" 1 (List.length rs);
   match rs with
   | [ r ] -> Alcotest.(check int) "single atom" 1 (List.length (Cq.Query.body r))
@@ -149,16 +153,20 @@ let test_minicon_beats_bucket_on_hidden_join () =
       ]
   in
   let query = q "Q(FName,PName) :- Family(FID,FName,Desc), Committee(FID,PName)" in
-  let minicon, _ = Rw.Rewrite.rewritings ~strategy:Rw.Rewrite.Minicon vs query in
-  let bucket, _ = Rw.Rewrite.rewritings ~strategy:Rw.Rewrite.Bucket vs query in
+  let minicon =
+    (Rw.Rewrite.search ~strategy:Rw.Rewrite.Minicon vs query).Rw.Rewrite.queries
+  in
+  let bucket =
+    (Rw.Rewrite.search ~strategy:Rw.Rewrite.Bucket vs query).Rw.Rewrite.queries
+  in
   Alcotest.(check int) "minicon finds it" 1 (List.length minicon);
   Alcotest.(check int) "bucket misses it" 0 (List.length bucket)
 
 let test_view_with_constant () =
   let vs = V.Set.of_list [ V.of_query (q "V(X) :- R(X,3)") ] in
-  let rs, _ = Rw.Rewrite.rewritings vs (q "Q(A) :- R(A,3)") in
+  let rs = (Rw.Rewrite.search vs (q "Q(A) :- R(A,3)")).Rw.Rewrite.queries in
   Alcotest.(check int) "constant view matches" 1 (List.length rs);
-  let rs2, _ = Rw.Rewrite.rewritings vs (q "Q(A) :- R(A,4)") in
+  let rs2 = (Rw.Rewrite.search vs (q "Q(A) :- R(A,4)")).Rw.Rewrite.queries in
   Alcotest.(check int) "different constant rejected" 0 (List.length rs2)
 
 let test_minimize_rewriting () =
@@ -219,7 +227,7 @@ let prop_rewriting_soundness =
       in
       List.for_all
         (fun query ->
-          let rs, _ = Rw.Rewrite.rewritings vs query in
+          let rs = (Rw.Rewrite.search vs query).Rw.Rewrite.queries in
           let expected =
             List.sort Dc_relational.Tuple.compare (eval_tuples db query)
           in
@@ -238,7 +246,8 @@ let test_names_and_order () =
   List.iter
     (fun strategy ->
       let rewritings, (stats : Rw.Rewrite.stats) =
-        Rw.Rewrite.rewritings ~strategy vs Dc_gtopdb.Paper_views.query_q
+        (let o = Rw.Rewrite.search ~strategy vs Dc_gtopdb.Paper_views.query_q in
+         (o.Rw.Rewrite.queries, o.Rw.Rewrite.stats))
       in
       Alcotest.(check (list string)) "sequential _rw<i> names"
         (List.mapi (fun i _ -> Printf.sprintf "Q_rw%d" i) rewritings)

@@ -59,9 +59,10 @@ let test_rewriting_matches_annotated_eval () =
   let annotated = M.of_database annot view_db in
   (* one rewriting at a time: its Alt-of-Joints expression must match *)
   let rewritings =
-    Dc_rewriting.Rewrite.equivalent_rewritings
-      (C.Citation_view.Set.view_set cviews)
-      Dc_gtopdb.Paper_views.query_q
+    (Dc_rewriting.Rewrite.search
+       (C.Citation_view.Set.view_set cviews)
+       Dc_gtopdb.Paper_views.query_q)
+      .Dc_rewriting.Rewrite.queries
   in
   Alcotest.(check int) "two rewritings" 2 (List.length rewritings);
   List.iter
